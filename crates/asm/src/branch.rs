@@ -1,0 +1,150 @@
+//! PC-relative operand discovery and branch equivalence.
+//!
+//! Run-pre matching must "verify that relative jumps in the run and the pre
+//! code point to corresponding locations even though they use different
+//! relative jump offsets" (paper §4.3). These helpers expose, for any
+//! instruction, whether it carries a PC-relative operand, where that
+//! operand lives in the encoding, and what absolute target it denotes.
+
+use crate::instr::Instr;
+use crate::{decode, Cond, DecodeError};
+
+/// Location and width of a PC-relative operand within an instruction
+/// encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcrelOperand {
+    /// Byte offset of the displacement field from the instruction start.
+    pub field_offset: usize,
+    /// Width of the displacement field: 1 (`rel8`) or 4 (`rel32`).
+    pub field_width: usize,
+    /// Total instruction length.
+    pub instr_len: usize,
+}
+
+/// A decoded control transfer with a PC-relative target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// `None` for unconditional `jmp`, `Some` for a conditional jump.
+    pub cond: Option<Cond>,
+    /// True for `call`, false for jumps.
+    pub is_call: bool,
+    /// Absolute address of the branch target, given the instruction's own
+    /// address.
+    pub target: u64,
+    /// Total instruction length.
+    pub instr_len: usize,
+}
+
+/// If the instruction at `bytes[0]` carries a PC-relative operand, returns
+/// its location; otherwise `None`. Errors propagate from the decoder.
+pub fn pcrel_operand(bytes: &[u8]) -> Result<Option<PcrelOperand>, DecodeError> {
+    let (instr, len) = decode(bytes)?;
+    Ok(match instr {
+        Instr::Jmp8(_) | Instr::Jcc8(..) => Some(PcrelOperand {
+            field_offset: 1,
+            field_width: 1,
+            instr_len: len,
+        }),
+        Instr::Jmp32(_) | Instr::Jcc32(..) | Instr::Call32(_) => Some(PcrelOperand {
+            field_offset: 1,
+            field_width: 4,
+            instr_len: len,
+        }),
+        _ => None,
+    })
+}
+
+/// If the instruction at `bytes[0]`, located at absolute address `addr`,
+/// is a PC-relative control transfer, returns its decoded target.
+pub fn branch_info(bytes: &[u8], addr: u64) -> Result<Option<BranchInfo>, DecodeError> {
+    let (instr, len) = decode(bytes)?;
+    let next = addr.wrapping_add(len as u64);
+    let mk = |cond, is_call, rel: i64| {
+        Some(BranchInfo {
+            cond,
+            is_call,
+            target: next.wrapping_add(rel as u64),
+            instr_len: len,
+        })
+    };
+    Ok(match instr {
+        Instr::Jmp8(r) => mk(None, false, r as i64),
+        Instr::Jmp32(r) => mk(None, false, r as i64),
+        Instr::Jcc8(c, r) => mk(Some(c), false, r as i64),
+        Instr::Jcc32(c, r) => mk(Some(c), false, r as i64),
+        Instr::Call32(r) => mk(None, true, r as i64),
+        _ => None,
+    })
+}
+
+/// True if two PC-relative branches are semantically equivalent: same kind
+/// (call vs jump), same condition, same absolute target — regardless of
+/// whether each used the `rel8` or `rel32` form.
+pub fn branches_equivalent(a: &BranchInfo, b: &BranchInfo) -> bool {
+    a.cond == b.cond && a.is_call == b.is_call && a.target == b.target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    #[test]
+    fn short_and_near_jump_same_target_are_equivalent() {
+        // A jmp8 at address 100 with rel 10 targets 112 (100 + 2 + 10).
+        let short = Instr::Jmp8(10).to_bytes();
+        let a = branch_info(&short, 100).unwrap().unwrap();
+        assert_eq!(a.target, 112);
+        // A jmp32 at address 50 with rel 57 targets 112 (50 + 5 + 57).
+        let near = Instr::Jmp32(57).to_bytes();
+        let b = branch_info(&near, 50).unwrap().unwrap();
+        assert_eq!(b.target, 112);
+        assert!(branches_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_condition_not_equivalent() {
+        let x = Instr::Jcc8(Cond::Z, 0).to_bytes();
+        let y = Instr::Jcc8(Cond::Nz, 0).to_bytes();
+        let a = branch_info(&x, 0).unwrap().unwrap();
+        let b = branch_info(&y, 0).unwrap().unwrap();
+        assert!(!branches_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn call_vs_jump_not_equivalent() {
+        let c = Instr::Call32(10).to_bytes();
+        let j = Instr::Jmp32(10).to_bytes();
+        let a = branch_info(&c, 0).unwrap().unwrap();
+        let b = branch_info(&j, 0).unwrap().unwrap();
+        assert_eq!(a.target, b.target);
+        assert!(!branches_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn non_branches_have_no_info() {
+        let m = Instr::MovRI32(crate::Reg::R0, 5).to_bytes();
+        assert!(branch_info(&m, 0).unwrap().is_none());
+        assert!(pcrel_operand(&m).unwrap().is_none());
+        // Indirect calls are not PC-relative.
+        let ic = Instr::CallR(crate::Reg::R3).to_bytes();
+        assert!(branch_info(&ic, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn pcrel_field_locations() {
+        let j8 = Instr::Jcc8(Cond::L, -4).to_bytes();
+        let op = pcrel_operand(&j8).unwrap().unwrap();
+        assert_eq!((op.field_offset, op.field_width, op.instr_len), (1, 1, 2));
+        let c32 = Instr::Call32(0).to_bytes();
+        let op = pcrel_operand(&c32).unwrap().unwrap();
+        assert_eq!((op.field_offset, op.field_width, op.instr_len), (1, 4, 5));
+    }
+
+    #[test]
+    fn negative_displacement_wraps_correctly() {
+        let j = Instr::Jmp32(-10).to_bytes();
+        let info = branch_info(&j, 100).unwrap().unwrap();
+        assert_eq!(info.target, 95); // 100 + 5 - 10
+    }
+}

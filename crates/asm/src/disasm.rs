@@ -1,0 +1,90 @@
+//! Textual disassembly, for diagnostics and tests.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::{decode, DecodeError};
+
+/// Formats one instruction as assembly text.
+pub fn disassemble_one(instr: &Instr) -> String {
+    match *instr {
+        Instr::Hlt => "hlt".into(),
+        Instr::Ret => "ret".into(),
+        Instr::Nop1 => "nop".into(),
+        Instr::NopN(n) => format!("nop{n}"),
+        Instr::MovRR(d, s) => format!("mov {d}, {s}"),
+        Instr::MovRI32(d, imm) => format!("mov {d}, {imm}"),
+        Instr::MovRI64(d, imm) => format!("movabs {d}, {imm:#x}"),
+        Instr::Ld(d, b, disp) => format!("ld {d}, [{b}{disp:+}]"),
+        Instr::St(b, s, disp) => format!("st [{b}{disp:+}], {s}"),
+        Instr::Ld8(d, b, disp) => format!("ld8 {d}, [{b}{disp:+}]"),
+        Instr::St8(b, s, disp) => format!("st8 [{b}{disp:+}], {s}"),
+        Instr::Lea(d, b, disp) => format!("lea {d}, [{b}{disp:+}]"),
+        Instr::Bin(op, d, s) => format!("{} {d}, {s}", op.mnemonic()),
+        Instr::AddI(d, imm) => format!("addi {d}, {imm}"),
+        Instr::Neg(d) => format!("neg {d}"),
+        Instr::Not(d) => format!("not {d}"),
+        Instr::Cmp(a, b) => format!("cmp {a}, {b}"),
+        Instr::CmpI(a, imm) => format!("cmpi {a}, {imm}"),
+        Instr::Jmp8(rel) => format!("jmp.s {rel:+}"),
+        Instr::Jmp32(rel) => format!("jmp {rel:+}"),
+        Instr::Jcc8(c, rel) => format!("j{}.s {rel:+}", c.mnemonic()),
+        Instr::Jcc32(c, rel) => format!("j{} {rel:+}", c.mnemonic()),
+        Instr::Call32(rel) => format!("call {rel:+}"),
+        Instr::CallR(r) => format!("call {r}"),
+        Instr::Push(r) => format!("push {r}"),
+        Instr::Pop(r) => format!("pop {r}"),
+        Instr::Int(v) => format!("int {v:#04x}"),
+    }
+}
+
+/// Disassembles a full byte slice, one instruction per line, prefixed with
+/// the byte offset. `base` offsets the printed addresses.
+pub fn disassemble(code: &[u8], base: u64) -> Result<String, DecodeError> {
+    let mut out = String::new();
+    let mut at = 0usize;
+    while at < code.len() {
+        let (instr, len) = decode(&code[at..])?;
+        let _ = writeln!(
+            out,
+            "{:#010x}: {}",
+            base + at as u64,
+            disassemble_one(&instr)
+        );
+        at += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn formats_representative_instructions() {
+        assert_eq!(
+            disassemble_one(&Instr::Ld(Reg::R0, Reg::SP, 8)),
+            "ld r0, [sp+8]"
+        );
+        assert_eq!(
+            disassemble_one(&Instr::St(Reg::FP, Reg::R1, -16)),
+            "st [fp-16], r1"
+        );
+        assert_eq!(disassemble_one(&Instr::Jcc8(Cond::Le, -2)), "jle.s -2");
+        assert_eq!(
+            disassemble_one(&Instr::MovRI64(Reg::R2, 0xdead)),
+            "movabs r2, 0xdead"
+        );
+    }
+
+    #[test]
+    fn disassembles_stream_with_addresses() {
+        let mut code = Vec::new();
+        Instr::Nop1.encode(&mut code);
+        Instr::Ret.encode(&mut code);
+        let text = disassemble(&code, 0x1000).unwrap();
+        assert!(text.contains("0x00001000: nop"));
+        assert!(text.contains("0x00001001: ret"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary encoding of K64 instructions.
+//!
+//! Opcode map (first byte):
+//!
+//! | byte        | instruction |
+//! |-------------|-------------|
+//! | `0x00`      | `hlt` |
+//! | `0x01`      | `ret` |
+//! | `0x90`      | `nop` (1 byte) |
+//! | `0x0e`      | `nopN` — second byte is the total length (2–9), then zero padding |
+//! | `0x10`      | `mov r,r` |
+//! | `0x11`      | `mov r,imm32` |
+//! | `0x12`      | `mov r,imm64` |
+//! | `0x13`–`0x17` | `ld`, `st`, `ld8`, `st8`, `lea` |
+//! | `0x20`      | binary op — second byte selects the operation |
+//! | `0x2a`      | `addi r,imm32` |
+//! | `0x2c`/`0x2d` | `neg` / `not` |
+//! | `0x30`/`0x31` | `cmp r,r` / `cmpi r,imm32` |
+//! | `0x40`/`0x41` | `jmp rel8` / `jmp rel32` |
+//! | `0x42`–`0x47` | `jcc rel8` (condition = opcode − 0x42) |
+//! | `0x48`–`0x4d` | `jcc rel32` (condition = opcode − 0x48) |
+//! | `0x50`/`0x51` | `call rel32` / `call r` |
+//! | `0x52`/`0x53` | `push` / `pop` |
+//! | `0x60`      | `int imm8` |
+//!
+//! Register pairs pack into one byte as `(a << 4) | b`. All immediates and
+//! displacements are little-endian.
+
+use crate::instr::{BinOp, Instr};
+use crate::Reg;
+
+pub(crate) const OP_HLT: u8 = 0x00;
+pub(crate) const OP_RET: u8 = 0x01;
+pub(crate) const OP_NOP1: u8 = 0x90;
+pub(crate) const OP_NOPN: u8 = 0x0e;
+pub(crate) const OP_MOVRR: u8 = 0x10;
+pub(crate) const OP_MOVRI32: u8 = 0x11;
+pub(crate) const OP_MOVRI64: u8 = 0x12;
+pub(crate) const OP_LD: u8 = 0x13;
+pub(crate) const OP_ST: u8 = 0x14;
+pub(crate) const OP_LD8: u8 = 0x15;
+pub(crate) const OP_ST8: u8 = 0x16;
+pub(crate) const OP_LEA: u8 = 0x17;
+pub(crate) const OP_BIN: u8 = 0x20;
+pub(crate) const OP_ADDI: u8 = 0x2a;
+pub(crate) const OP_NEG: u8 = 0x2c;
+pub(crate) const OP_NOT: u8 = 0x2d;
+pub(crate) const OP_CMP: u8 = 0x30;
+pub(crate) const OP_CMPI: u8 = 0x31;
+pub(crate) const OP_JMP8: u8 = 0x40;
+pub(crate) const OP_JMP32: u8 = 0x41;
+pub(crate) const OP_JCC8_BASE: u8 = 0x42;
+pub(crate) const OP_JCC32_BASE: u8 = 0x48;
+pub(crate) const OP_CALL32: u8 = 0x50;
+pub(crate) const OP_CALLR: u8 = 0x51;
+pub(crate) const OP_PUSH: u8 = 0x52;
+pub(crate) const OP_POP: u8 = 0x53;
+pub(crate) const OP_INT: u8 = 0x60;
+
+fn regs(a: Reg, b: Reg) -> u8 {
+    (a.num() << 4) | b.num()
+}
+
+impl Instr {
+    /// Appends the binary encoding of this instruction to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `NopN` length is outside 2–9; such values are
+    /// unconstructible through [`crate::nop_fill`].
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Instr::Hlt => out.push(OP_HLT),
+            Instr::Ret => out.push(OP_RET),
+            Instr::Nop1 => out.push(OP_NOP1),
+            Instr::NopN(n) => {
+                assert!((2..=9).contains(&n), "NopN length {n} out of range");
+                out.push(OP_NOPN);
+                out.push(n);
+                out.extend(std::iter::repeat(0u8).take(n as usize - 2));
+            }
+            Instr::MovRR(d, s) => {
+                out.push(OP_MOVRR);
+                out.push(regs(d, s));
+            }
+            Instr::MovRI32(d, imm) => {
+                out.push(OP_MOVRI32);
+                out.push(regs(d, Reg::R0));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instr::MovRI64(d, imm) => {
+                out.push(OP_MOVRI64);
+                out.push(regs(d, Reg::R0));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instr::Ld(d, b, disp) => mem(out, OP_LD, d, b, disp),
+            Instr::St(b, s, disp) => mem(out, OP_ST, b, s, disp),
+            Instr::Ld8(d, b, disp) => mem(out, OP_LD8, d, b, disp),
+            Instr::St8(b, s, disp) => mem(out, OP_ST8, b, s, disp),
+            Instr::Lea(d, b, disp) => mem(out, OP_LEA, d, b, disp),
+            Instr::Bin(op, d, s) => {
+                out.push(OP_BIN);
+                out.push(op.index());
+                out.push(regs(d, s));
+            }
+            Instr::AddI(d, imm) => {
+                out.push(OP_ADDI);
+                out.push(regs(d, Reg::R0));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instr::Neg(d) => {
+                out.push(OP_NEG);
+                out.push(regs(d, Reg::R0));
+            }
+            Instr::Not(d) => {
+                out.push(OP_NOT);
+                out.push(regs(d, Reg::R0));
+            }
+            Instr::Cmp(a, b) => {
+                out.push(OP_CMP);
+                out.push(regs(a, b));
+            }
+            Instr::CmpI(a, imm) => {
+                out.push(OP_CMPI);
+                out.push(regs(a, Reg::R0));
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Instr::Jmp8(rel) => {
+                out.push(OP_JMP8);
+                out.push(rel as u8);
+            }
+            Instr::Jmp32(rel) => {
+                out.push(OP_JMP32);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Instr::Jcc8(c, rel) => {
+                out.push(OP_JCC8_BASE + c.index());
+                out.push(rel as u8);
+            }
+            Instr::Jcc32(c, rel) => {
+                out.push(OP_JCC32_BASE + c.index());
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Instr::Call32(rel) => {
+                out.push(OP_CALL32);
+                out.extend_from_slice(&rel.to_le_bytes());
+            }
+            Instr::CallR(r) => {
+                out.push(OP_CALLR);
+                out.push(regs(r, Reg::R0));
+            }
+            Instr::Push(r) => {
+                out.push(OP_PUSH);
+                out.push(regs(r, Reg::R0));
+            }
+            Instr::Pop(r) => {
+                out.push(OP_POP);
+                out.push(regs(r, Reg::R0));
+            }
+            Instr::Int(v) => {
+                out.push(OP_INT);
+                out.push(v);
+            }
+        }
+        debug_assert!(!matches!(self, Instr::Bin(b, ..) if BinOp::from_index(b.index()).is_none()));
+    }
+
+    /// Encodes this instruction into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        self.encode(&mut v);
+        v
+    }
+}
+
+fn mem(out: &mut Vec<u8>, op: u8, a: Reg, b: Reg, disp: i32) {
+    out.push(op);
+    out.push(regs(a, b));
+    out.extend_from_slice(&disp.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_length_matches_len() {
+        let cases = [
+            Instr::Hlt,
+            Instr::Ret,
+            Instr::Nop1,
+            Instr::NopN(2),
+            Instr::NopN(9),
+            Instr::MovRR(Reg::R1, Reg::R2),
+            Instr::MovRI32(Reg::R3, -7),
+            Instr::MovRI64(Reg::R4, u64::MAX),
+            Instr::Ld(Reg::R0, Reg::SP, 16),
+            Instr::St(Reg::SP, Reg::R0, -8),
+            Instr::Ld8(Reg::R1, Reg::R2, 0),
+            Instr::St8(Reg::R2, Reg::R1, 3),
+            Instr::Lea(Reg::R5, Reg::FP, -32),
+            Instr::Bin(BinOp::Add, Reg::R0, Reg::R1),
+            Instr::AddI(Reg::SP, -16),
+            Instr::Neg(Reg::R9),
+            Instr::Not(Reg::R10),
+            Instr::Cmp(Reg::R0, Reg::R1),
+            Instr::CmpI(Reg::R0, 100),
+            Instr::Jmp8(-2),
+            Instr::Jmp32(1000),
+            Instr::Jcc8(crate::Cond::Le, 5),
+            Instr::Jcc32(crate::Cond::G, -1000),
+            Instr::Call32(0),
+            Instr::CallR(Reg::R7),
+            Instr::Push(Reg::FP),
+            Instr::Pop(Reg::FP),
+            Instr::Int(0x80),
+        ];
+        for i in cases {
+            assert_eq!(i.to_bytes().len(), i.len(), "length mismatch for {i:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_nop_length_panics() {
+        Instr::NopN(1).encode(&mut Vec::new());
+    }
+}

@@ -1,0 +1,100 @@
+//! Canonical no-op sequences.
+//!
+//! Assemblers insert efficient multi-byte no-op sequences to align code.
+//! Run-pre matching "needs to be able to recognize these sequences so that
+//! they can be skipped during the run-pre matching process" (paper §4.3).
+
+use crate::instr::Instr;
+
+/// The longest single canonical no-op instruction, in bytes.
+pub const MAX_NOP_LEN: usize = 9;
+
+/// If the bytes at `code[at..]` begin with a canonical no-op instruction,
+/// returns its length; otherwise `None`.
+///
+/// Only *canonical* no-ops are recognised: the single-byte `0x90` and the
+/// `nopN` form whose padding bytes are all zero. A `nopN` with non-zero
+/// padding decodes fine but is not something our assembler emits, so the
+/// matcher treats it as ordinary code.
+pub fn nop_len_at(code: &[u8], at: usize) -> Option<usize> {
+    let rest = code.get(at..)?;
+    match crate::decode(rest) {
+        Ok((Instr::Nop1, len)) => Some(len),
+        Ok((Instr::NopN(n), len)) => {
+            if rest[2..n as usize].iter().all(|&b| b == 0) {
+                Some(len)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Emits the shortest sequence of canonical no-ops totalling exactly
+/// `bytes` bytes.
+///
+/// Mirrors how an assembler pads to an alignment boundary: greedy
+/// largest-first, so e.g. 12 bytes become one 9-byte nop plus one 3-byte
+/// nop.
+pub fn nop_fill(out: &mut Vec<u8>, mut bytes: usize) {
+    while bytes > 0 {
+        let take = bytes.min(MAX_NOP_LEN);
+        // A remainder of 1 after a (take-1)-byte nop is fine since NOP1
+        // exists, but NopN cannot encode length 1 if we greedily took all
+        // but one byte of a 10-byte hole; the greedy split 9+1 handles it.
+        if take == 1 {
+            Instr::Nop1.encode(out);
+        } else {
+            Instr::NopN(take as u8).encode(out);
+        }
+        bytes -= take;
+    }
+}
+
+/// Total number of leading padding bytes at `code[at..]` formed by
+/// consecutive canonical no-ops.
+pub fn nop_run_len(code: &[u8], at: usize) -> usize {
+    let mut total = 0;
+    while let Some(len) = nop_len_at(code, at + total) {
+        total += len;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_exact_lengths() {
+        for want in 0..64 {
+            let mut buf = Vec::new();
+            nop_fill(&mut buf, want);
+            assert_eq!(buf.len(), want);
+            assert_eq!(nop_run_len(&buf, 0), want);
+        }
+    }
+
+    #[test]
+    fn recognises_single_byte_nop() {
+        assert_eq!(nop_len_at(&[0x90, 0x01], 0), Some(1));
+        assert_eq!(nop_len_at(&[0x01, 0x90], 0), None);
+        assert_eq!(nop_len_at(&[0x01, 0x90], 1), Some(1));
+    }
+
+    #[test]
+    fn rejects_noncanonical_padding() {
+        // nopN of length 4 with a non-zero padding byte.
+        let bytes = [0x0e, 4, 0x00, 0x7f];
+        assert_eq!(nop_len_at(&bytes, 0), None);
+        let canonical = [0x0e, 4, 0x00, 0x00];
+        assert_eq!(nop_len_at(&canonical, 0), Some(4));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        assert_eq!(nop_len_at(&[0x90], 5), None);
+        assert_eq!(nop_run_len(&[], 0), 0);
+    }
+}

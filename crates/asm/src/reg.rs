@@ -1,0 +1,113 @@
+//! General-purpose register file.
+
+use std::fmt;
+
+/// One of the sixteen 64-bit general-purpose registers.
+///
+/// The software calling convention (defined by the `kc` compiler and the
+/// simulated kernel, not by the hardware) is:
+///
+/// * `R0` — return value, caller-saved
+/// * `R1`–`R6` — arguments, caller-saved
+/// * `R7`–`R13` — callee-saved temporaries
+/// * `R14` — frame pointer (`FP`), callee-saved
+/// * `R15` — stack pointer (`SP`)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// The frame pointer alias.
+    pub const FP: Reg = Reg::R14;
+    /// The stack pointer alias.
+    pub const SP: Reg = Reg::R15;
+
+    /// Returns the register with the given hardware number.
+    ///
+    /// Values above 15 wrap modulo 16; encodings only ever carry nibbles,
+    /// so every 4-bit field decodes to a valid register.
+    pub fn from_nibble(n: u8) -> Reg {
+        // SAFETY-free table lookup keeps this obviously total.
+        const TABLE: [Reg; 16] = [
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::R13,
+            Reg::R14,
+            Reg::R15,
+        ];
+        TABLE[(n & 0xf) as usize]
+    }
+
+    /// The hardware register number, 0–15.
+    pub fn num(self) -> u8 {
+        self as u8
+    }
+
+    /// All sixteen registers, in hardware order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..16).map(Reg::from_nibble)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::R14 => write!(f, "fp"),
+            Reg::R15 => write!(f, "sp"),
+            r => write!(f, "r{}", r.num()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_nibble(r.num()), r);
+        }
+    }
+
+    #[test]
+    fn nibble_wraps() {
+        assert_eq!(Reg::from_nibble(0x10), Reg::R0);
+        assert_eq!(Reg::from_nibble(0xff), Reg::R15);
+    }
+
+    #[test]
+    fn display_aliases() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::FP.to_string(), "fp");
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: encode/decode roundtrips and decoder totality.
+
+use ksplice_asm::{
+    branch_info, decode, decode_len, disassemble_one, nop_len_at, BinOp, Cond, Instr, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_nibble)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..6).prop_map(|i| Cond::from_index(i).unwrap())
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    (0u8..10).prop_map(|i| BinOp::from_index(i).unwrap())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Hlt),
+        Just(Instr::Ret),
+        Just(Instr::Nop1),
+        (2u8..=9).prop_map(Instr::NopN),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::MovRR(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::MovRI32(r, i)),
+        (arb_reg(), any::<u64>()).prop_map(|(r, i)| Instr::MovRI64(r, i)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Instr::Ld(a, b, d)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Instr::St(a, b, d)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Instr::Ld8(a, b, d)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Instr::St8(a, b, d)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Instr::Lea(a, b, d)),
+        (arb_binop(), arb_reg(), arb_reg()).prop_map(|(o, a, b)| Instr::Bin(o, a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::AddI(r, i)),
+        arb_reg().prop_map(Instr::Neg),
+        arb_reg().prop_map(Instr::Not),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Cmp(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::CmpI(r, i)),
+        any::<i8>().prop_map(Instr::Jmp8),
+        any::<i32>().prop_map(Instr::Jmp32),
+        (arb_cond(), any::<i8>()).prop_map(|(c, r)| Instr::Jcc8(c, r)),
+        (arb_cond(), any::<i32>()).prop_map(|(c, r)| Instr::Jcc32(c, r)),
+        any::<i32>().prop_map(Instr::Call32),
+        arb_reg().prop_map(Instr::CallR),
+        arb_reg().prop_map(Instr::Push),
+        arb_reg().prop_map(Instr::Pop),
+        any::<u8>().prop_map(Instr::Int),
+    ]
+}
+
+proptest! {
+    /// Every instruction decodes back to itself with the declared length.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let bytes = instr.to_bytes();
+        prop_assert_eq!(bytes.len(), instr.len());
+        let (decoded, len) = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(len, bytes.len());
+        prop_assert_eq!(decode_len(&bytes).unwrap(), bytes.len());
+    }
+
+    /// The decoder never panics on arbitrary bytes, and decoding is
+    /// idempotent: re-encoding a decoded instruction (which canonicalises
+    /// don't-care bits) decodes back to the same instruction and length.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match decode(&bytes) {
+            Ok((instr, len)) => {
+                prop_assert!(len <= bytes.len());
+                let reenc = instr.to_bytes();
+                let (instr2, len2) = decode(&reenc).unwrap();
+                prop_assert_eq!(instr2, instr);
+                prop_assert_eq!(len2, len);
+            }
+            Err(_) => {}
+        }
+        // These are total too.
+        let _ = nop_len_at(&bytes, 0);
+        let _ = branch_info(&bytes, 0x1000).ok();
+    }
+
+    /// A stream of concatenated instructions decodes instruction by
+    /// instruction at exactly the encoded boundaries.
+    #[test]
+    fn stream_boundaries(instrs in proptest::collection::vec(arb_instr(), 1..20)) {
+        let mut code = Vec::new();
+        let mut boundaries = Vec::new();
+        for i in &instrs {
+            boundaries.push(code.len());
+            i.encode(&mut code);
+        }
+        let mut at = 0usize;
+        for (i, &start) in instrs.iter().zip(&boundaries) {
+            prop_assert_eq!(at, start);
+            let (decoded, len) = decode(&code[at..]).unwrap();
+            prop_assert_eq!(&decoded, i);
+            at += len;
+        }
+        prop_assert_eq!(at, code.len());
+    }
+
+    /// Disassembly is total and non-empty for every instruction.
+    #[test]
+    fn disasm_total(instr in arb_instr()) {
+        prop_assert!(!disassemble_one(&instr).is_empty());
+    }
+
+    /// Branch targets honour the next-instruction-relative convention.
+    #[test]
+    fn branch_target_convention(rel in any::<i32>(), addr in 0u64..u64::MAX / 2) {
+        let j = Instr::Jmp32(rel).to_bytes();
+        let info = branch_info(&j, addr).unwrap().unwrap();
+        prop_assert_eq!(info.target, addr.wrapping_add(5).wrapping_add(rel as i64 as u64));
+    }
+}

@@ -1,0 +1,78 @@
+//! §2 — "calls to the replaced functions will take a few cycles longer
+//! because of the inserted jump instructions."
+//!
+//! To isolate the trampoline's cost from the patch's own code changes,
+//! the patch here alters only an untaken branch's comparison constant:
+//! the executed instruction sequence is identical before and after,
+//! except for the one redirecting `jmp` — whose cost is exactly what the
+//! cycle counters show.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice};
+use ksplice_kernel::Kernel;
+use ksplice_lang::{Options, SourceTree};
+use ksplice_patch::make_diff;
+
+const V1: &str =
+    "int hot(int x) {\n    if (x == 12345) {\n        return 0 - 1;\n    }\n    return x + 1;\n}\n";
+const V2: &str =
+    "int hot(int x) {\n    if (x == 12346) {\n        return 0 - 1;\n    }\n    return x + 1;\n}\n";
+
+fn boot() -> Kernel {
+    let mut tree = SourceTree::new();
+    tree.insert("hot.kc", V1);
+    Kernel::boot(&tree, &Options::distro()).expect("boot")
+}
+
+fn cycles_for_call(kernel: &mut Kernel, args: &[u64]) -> u64 {
+    let addr = kernel.syms.lookup_name("hot")[0].addr;
+    let tid = kernel.spawn_at(addr, args, "probe").unwrap();
+    kernel.run(1_000_000);
+    let t = kernel.thread(tid).unwrap();
+    assert!(matches!(t.state, ksplice_kernel::ThreadState::Exited(_)));
+    t.cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut tree = SourceTree::new();
+    tree.insert("hot.kc", V1);
+    let patch = make_diff("hot.kc", V1, V2).unwrap();
+    let (pack, _) = create_update("overhead", &tree, &patch, &CreateOptions::default()).unwrap();
+
+    let mut kernel = boot();
+    let before = cycles_for_call(&mut kernel, &[5]);
+    let mut ks = Ksplice::new();
+    ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+        .unwrap();
+    let after = cycles_for_call(&mut kernel, &[5]);
+    println!(
+        "\n== call cycles before/after trampoline: {before} -> {after} (+{} cycles; paper: \"a few cycles\") ==\n",
+        after.saturating_sub(before)
+    );
+    assert!(
+        after > before,
+        "the trampoline adds at least one instruction"
+    );
+    assert!(
+        after - before <= 3,
+        "one jump instruction costs a few cycles"
+    );
+
+    c.bench_function("call_overhead/original", |b| {
+        let mut k = boot();
+        b.iter(|| k.call_function("hot", &[5]).unwrap())
+    });
+    c.bench_function("call_overhead/through_trampoline", |b| {
+        let mut k = boot();
+        let mut ks = Ksplice::new();
+        ks.apply(&mut k, &pack, &ApplyOptions::default()).unwrap();
+        b.iter(|| k.call_function("hot", &[5]).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §5 — end-to-end `ksplice-create` and `ksplice-apply` cost.
+//!
+//! create performs two full kernel builds plus the object diff; apply
+//! loads modules, run-pre matches, safety-checks and writes trampolines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_bench::{boot_eval_kernel, pack_for, small_cve};
+use ksplice_core::{ApplyOptions, Ksplice};
+
+fn bench(c: &mut Criterion) {
+    let case = small_cve();
+    c.bench_function("create/two_builds_plus_diff", |b| {
+        b.iter(|| pack_for(&case))
+    });
+
+    let (pack, _) = pack_for(&case);
+    c.bench_function("apply/load_match_check_patch", |b| {
+        b.iter_batched(
+            || (boot_eval_kernel(), Ksplice::new()),
+            |(mut kernel, mut ks)| {
+                ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+                    .unwrap()
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

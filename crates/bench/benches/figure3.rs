@@ -1,0 +1,63 @@
+//! Figure 3 — "Number of patches by patch length" — and Table 1.
+//!
+//! Regenerates the paper's histogram from the 64-CVE corpus and times
+//! the patch-analysis path (unified-diff parse + line accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_eval::{corpus, figure3_buckets};
+use ksplice_patch::Patch;
+
+fn print_figure3_and_table1() {
+    let cases = corpus();
+    let locs: Vec<usize> = cases
+        .iter()
+        .map(|c| {
+            Patch::parse(&c.patch_text())
+                .expect("corpus patch parses")
+                .changed_line_count()
+        })
+        .collect();
+    println!("\n== Figure 3: number of patches by patch length (paper: 35 within 5 lines, 53 within 15) ==");
+    for (bucket, n) in figure3_buckets(&locs) {
+        if n > 0 {
+            println!("{bucket:>6} lines | {:<35} {n}", "#".repeat(n));
+        }
+    }
+    println!("\n== Table 1: patches that cannot be applied without new code ==");
+    println!(
+        "{:<16} {:<22} {:>9}",
+        "CVE ID", "Reason for failure", "New code"
+    );
+    let mut rows: Vec<_> = cases.iter().filter(|c| c.needs_custom_code()).collect();
+    rows.sort_by(|a, b| b.id.cmp(a.id));
+    for c in rows {
+        let cc = c.custom.as_ref().unwrap();
+        let reason = match cc.reason {
+            ksplice_eval::CustomReason::AddsFieldToStruct => "adds field to struct",
+            ksplice_eval::CustomReason::ChangesDataInit => "changes data init",
+        };
+        println!("{:<16} {:<22} {:>4} lines", c.id, reason, cc.lines);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure3_and_table1();
+    let cases = corpus();
+    c.bench_function("figure3/corpus_patch_analysis", |b| {
+        b.iter(|| {
+            let locs: Vec<usize> = cases
+                .iter()
+                .map(|c| Patch::parse(&c.patch_text()).unwrap().changed_line_count())
+                .collect();
+            figure3_buckets(&locs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! §5.1 — "the helper module … can be much larger than the primary
+//! module."
+//!
+//! Prints helper vs primary sizes across the corpus and times update
+//! packaging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_bench::{pack_for, small_cve};
+use ksplice_eval::corpus;
+
+fn bench(c: &mut Criterion) {
+    // A representative sample across patch sizes.
+    let sample = [
+        "CVE-2005-4639",
+        "CVE-2006-2451",
+        "CVE-2007-3843",
+        "CVE-2008-0600",
+    ];
+    let mut ratios = Vec::new();
+    println!("\n== helper vs primary module sizes (paper §5.1) ==");
+    println!(
+        "{:<16} {:>9} {:>9} {:>7}",
+        "CVE", "helper", "primary", "ratio"
+    );
+    for id in sample {
+        let case = corpus().into_iter().find(|c| c.id == id).unwrap();
+        let (pack, _) = pack_for(&case);
+        let (h, p) = (pack.helper_size(), pack.primary_size());
+        ratios.push(h as f64 / p as f64);
+        println!(
+            "{:<16} {:>8}B {:>8}B {:>6.1}x",
+            id,
+            h,
+            p,
+            h as f64 / p as f64
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("average helper/primary ratio: {avg:.1}x (paper: \"much larger\")\n");
+    assert!(avg > 1.0);
+
+    let case = small_cve();
+    c.bench_function("module_sizes/package_update", |b| {
+        b.iter(|| pack_for(&case))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

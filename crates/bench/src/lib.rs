@@ -1,0 +1,38 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench doubles as an experiment regenerator: it prints the
+//! paper-comparable rows (Figure 3, Table 1, the §6.3 statistics, the
+//! ~0.7 ms pause) before handing the hot loops to Criterion.
+
+use ksplice_core::{create_update, CreateOptions, UpdatePack};
+use ksplice_eval::{base_tree, corpus, Cve};
+use ksplice_kernel::Kernel;
+use ksplice_lang::{Options, SourceTree};
+
+/// Boots the evaluation kernel the way a distributor ships it.
+pub fn boot_eval_kernel() -> Kernel {
+    Kernel::boot(&base_tree(), &Options::distro()).expect("base tree boots")
+}
+
+/// A small, representative CVE used by the timing benches (single
+/// function, no custom code).
+pub fn small_cve() -> Cve {
+    corpus()
+        .into_iter()
+        .find(|c| c.id == "CVE-2005-4639")
+        .expect("corpus entry")
+}
+
+/// Builds the update pack for a CVE against the base tree.
+pub fn pack_for(case: &Cve) -> (UpdatePack, SourceTree) {
+    let opts = CreateOptions {
+        accept_data_changes: case.needs_custom_code(),
+        ..CreateOptions::default()
+    };
+    let patch = if case.needs_custom_code() {
+        case.full_patch_text()
+    } else {
+        case.patch_text()
+    };
+    create_update(case.id, &base_tree(), &patch, &opts).expect("create")
+}

@@ -1,0 +1,226 @@
+//! `ksplice` — the command-line face of the reproduction.
+//!
+//! Mirrors the paper's §5 workflow on the simulated kernel:
+//!
+//! ```text
+//! ksplice create --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out pack.kupd]
+//! ksplice inspect <pack.kupd>
+//! ksplice demo   [--cve <id>]           # boot, exploit, hot-patch, re-exploit
+//! ksplice eval   [--stress <rounds>]    # the full §6 evaluation
+//! ksplice list                          # the 64-CVE corpus
+//! ```
+//!
+//! `create` reads an on-disk source tree (files with `.kc`/`.ks`/`.kh`
+//! suffixes), applies a unified diff, performs the pre and post builds,
+//! and writes the update pack — the equivalent of the paper's
+//! `ksplice-create --patch=prctl ~/src` producing
+//! `ksplice-8c4o6u.tar.gz`. Because the "running kernel" here lives
+//! inside a process, `demo`/`eval` boot one and apply updates to it live.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice, UpdatePack};
+use ksplice_eval::{base_tree, corpus, run_exploit, run_full_evaluation};
+use ksplice_kernel::Kernel;
+use ksplice_lang::{Options, SourceTree};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("create") => cmd_create(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage: ksplice <create|inspect|demo|eval|list> [options]\n\
+                 \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
+                 \n  inspect <pack.kupd>\
+                 \n  demo    [--cve <id>]\
+                 \n  eval    [--stress <rounds>]\
+                 \n  list"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ksplice: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Reads a source tree from disk: every `.kc`/`.ks`/`.kh` file under
+/// `root`, keyed by its relative path.
+fn read_tree(root: &Path) -> Result<SourceTree, String> {
+    let mut tree = SourceTree::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("kc") | Some("ks") | Some("kh")
+            ) {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let body = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                tree.insert(&rel, &body);
+            }
+        }
+    }
+    if tree.is_empty() {
+        return Err(format!("{}: no .kc/.ks/.kh sources found", root.display()));
+    }
+    Ok(tree)
+}
+
+fn cmd_create(args: &[String]) -> Result<(), String> {
+    let tree_dir = flag_value(args, "--tree").ok_or("create: missing --tree <dir>")?;
+    let patch_file = flag_value(args, "--patch").ok_or("create: missing --patch <file>")?;
+    let id = flag_value(args, "--id").ok_or("create: missing --id <name>")?;
+    let out: PathBuf = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("ksplice-{id}.kupd")));
+    let accept = args.iter().any(|a| a == "--accept-data-changes");
+
+    let tree = read_tree(Path::new(tree_dir))?;
+    let patch = std::fs::read_to_string(patch_file).map_err(|e| format!("{patch_file}: {e}"))?;
+    let opts = CreateOptions {
+        accept_data_changes: accept,
+        ..CreateOptions::default()
+    };
+    let (pack, _) = create_update(id, &tree, &patch, &opts).map_err(|e| e.to_string())?;
+    std::fs::write(&out, pack.to_bytes()).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "Ksplice update pack written to {} ({} unit(s), {} function(s) replaced, helper {}B / primary {}B)",
+        out.display(),
+        pack.units.len(),
+        pack.replaced_fn_count(),
+        pack.helper_size(),
+        pack.primary_size()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("inspect: missing pack file")?;
+    let bytes = std::fs::read(file).map_err(|e| format!("{file}: {e}"))?;
+    let pack = UpdatePack::parse(&bytes)?;
+    println!("update: {}", pack.id);
+    for u in &pack.units {
+        println!("  unit {}", u.unit);
+        for (sec, f) in &u.replaced_fns {
+            println!("    replaces {f} ({sec})");
+        }
+        for s in &u.primary.sections {
+            println!("    primary section {} ({} bytes)", s.name, s.size);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let id = flag_value(args, "--cve").unwrap_or("CVE-2006-2451");
+    let case = corpus()
+        .into_iter()
+        .find(|c| c.id == id)
+        .ok_or_else(|| format!("unknown CVE `{id}` (try `ksplice list`)"))?;
+    println!("booting the vulnerable kernel...");
+    let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
+    if case.exploit.is_some() {
+        let worked = run_exploit(&mut kernel, &case) == Some(true);
+        println!(
+            "exploit for {id}: {}",
+            if worked {
+                "SUCCEEDS (vulnerable)"
+            } else {
+                "fails"
+            }
+        );
+    }
+    let opts = CreateOptions {
+        accept_data_changes: case.needs_custom_code(),
+        ..CreateOptions::default()
+    };
+    let patch = if case.needs_custom_code() {
+        case.full_patch_text()
+    } else {
+        case.patch_text()
+    };
+    let (pack, _) =
+        create_update(case.id, &base_tree(), &patch, &opts).map_err(|e| e.to_string())?;
+    let mut ks = Ksplice::new();
+    ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "hot update applied: {} function(s) replaced, pause {:?}",
+        pack.replaced_fn_count(),
+        kernel.last_stop_machine.unwrap_or_default()
+    );
+    if case.exploit.is_some() {
+        let worked = run_exploit(&mut kernel, &case) == Some(true);
+        println!(
+            "exploit for {id}: {}",
+            if worked {
+                "still succeeds!?"
+            } else {
+                "DEFEATED"
+            }
+        );
+    }
+    println!("Done!");
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let rounds: u64 = flag_value(args, "--stress")
+        .map(|s| s.parse().map_err(|_| "bad --stress value".to_string()))
+        .transpose()?
+        .unwrap_or(8);
+    let report = run_full_evaluation(rounds)?;
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<16} {:>4} {:<12} custom  summary",
+        "CVE", "year", "class"
+    );
+    for c in corpus() {
+        println!(
+            "{:<16} {:>4} {:<12} {:>6}  {}",
+            c.id,
+            c.year,
+            match c.class {
+                ksplice_eval::VulnClass::PrivilegeEscalation => "priv-esc",
+                ksplice_eval::VulnClass::InformationDisclosure => "info-leak",
+            },
+            c.custom
+                .as_ref()
+                .map(|cc| cc.lines.to_string())
+                .unwrap_or_else(|| "-".into()),
+            c.summary
+        );
+    }
+    Ok(())
+}

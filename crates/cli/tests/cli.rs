@@ -1,0 +1,112 @@
+//! Integration tests driving the `ksplice` binary itself.
+
+use std::process::Command;
+
+fn ksplice() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ksplice"))
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = ksplice().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn list_shows_the_corpus() {
+    let out = ksplice().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CVE-2006-2451"));
+    assert!(text.contains("CVE-2005-2709"));
+    // Header plus 64 entries.
+    assert_eq!(text.lines().count(), 65);
+}
+
+#[test]
+fn demo_defeats_the_default_exploit() {
+    let out = ksplice().arg("demo").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SUCCEEDS (vulnerable)"));
+    assert!(text.contains("DEFEATED"));
+}
+
+#[test]
+fn create_and_inspect_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ksplice-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../eval/tree");
+    let patch_path = dir.join("fix.patch");
+    std::fs::write(
+        &patch_path,
+        "--- a/drivers/dst_ca.kc\n\
+         +++ b/drivers/dst_ca.kc\n\
+         @@ -6,7 +6,7 @@\n \n int ca_get_slot_info(int slot) {\n     debug = debug + 1;\n\
+         -    if (slot > 7) {\n+    if (slot < 0 || slot > 7) {\n         return 0 - 22;\n     }\n     return ca_messages[slot];\n",
+    )
+    .unwrap();
+    let pack_path = dir.join("u.kupd");
+    let out = ksplice()
+        .args([
+            "create",
+            "--tree",
+            tree_dir,
+            "--patch",
+            patch_path.to_str().unwrap(),
+            "--id",
+            "cli-test",
+            "--out",
+            pack_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(pack_path.exists());
+
+    let out = ksplice()
+        .args(["inspect", pack_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("update: cli-test"));
+    assert!(text.contains("replaces ca_get_slot_info"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn create_rejects_nonapplying_patch() {
+    let dir = std::env::temp_dir().join(format!("ksplice-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../eval/tree");
+    let patch_path = dir.join("bad.patch");
+    std::fs::write(
+        &patch_path,
+        "--- a/drivers/dst_ca.kc\n+++ b/drivers/dst_ca.kc\n@@ -1,1 +1,1 @@\n-no such line\n+whatever\n",
+    )
+    .unwrap();
+    let out = ksplice()
+        .args([
+            "create",
+            "--tree",
+            tree_dir,
+            "--patch",
+            patch_path.to_str().unwrap(),
+            "--id",
+            "bad",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

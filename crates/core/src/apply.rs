@@ -1,0 +1,634 @@
+//! Applying and reversing hot updates (paper §5).
+//!
+//! [`Ksplice`] is the in-kernel core module's state: the stack of applied
+//! updates and the machinery of `ksplice-apply`/`ksplice-undo`. An apply
+//! runs the full §5 sequence: load the helper and primary modules, run-pre
+//! match every affected optimisation unit, fulfil the primary's deferred
+//! relocations from the recovered bindings, run `pre_apply` hooks, then
+//! under `stop_machine` perform the stack safety check (retrying a few
+//! times before abandoning, §5.2) and write the trampoline jumps. Undo
+//! restores the saved instruction bytes under the same safety check and
+//! unloads the primary modules.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ksplice_asm::Instr;
+use ksplice_kernel::{apply_reloc_at, Kernel, LinkError, LoadedModule};
+use ksplice_lang::HookKind;
+use ksplice_object::{Object, RelocKind, SectionKind};
+
+use crate::package::UpdatePack;
+use crate::runpre::{match_unit, MatchError, UnitMatch};
+
+/// Length of the jump trampoline written at a replaced function's entry.
+pub const TRAMPOLINE_LEN: usize = 5;
+
+/// One patched function: everything needed to redirect and to undo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchSite {
+    pub unit: String,
+    pub fn_name: String,
+    /// Address the trampoline was written at (the obsolete code).
+    pub site_addr: u64,
+    /// Length of the obsolete run code (for safety checks).
+    pub site_len: u64,
+    /// The replacement function in the primary module.
+    pub replacement_addr: u64,
+    /// Length of the replacement code.
+    pub replacement_len: u64,
+    /// Original bytes overwritten by the trampoline.
+    pub saved: [u8; TRAMPOLINE_LEN],
+}
+
+/// Hook functions resolved to kernel addresses, by kind.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedHooks {
+    by_kind: BTreeMap<&'static str, Vec<u64>>,
+}
+
+impl ResolvedHooks {
+    fn push(&mut self, kind: HookKind, addr: u64) {
+        self.by_kind
+            .entry(kind.section_name())
+            .or_default()
+            .push(addr);
+    }
+
+    /// Hook addresses for a kind, in registration order.
+    pub fn of(&self, kind: HookKind) -> &[u64] {
+        self.by_kind
+            .get(kind.section_name())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A successfully applied update.
+#[derive(Debug, Clone)]
+pub struct AppliedUpdate {
+    pub id: String,
+    pub sites: Vec<PatchSite>,
+    /// Names of the loaded primary modules (for rmmod on undo).
+    pub primary_modules: Vec<String>,
+    pub hooks: ResolvedHooks,
+    /// Set once reversed; a reversed update stays in history.
+    pub reversed: bool,
+}
+
+/// Apply-time policy.
+#[derive(Debug, Clone)]
+pub struct ApplyOptions {
+    /// Safety-check attempts before abandoning (paper §5.2: "If multiple
+    /// such attempts are unsuccessful, then Ksplice abandons the upgrade
+    /// attempt and reports the failure").
+    pub max_attempts: u32,
+    /// Kernel instructions to run between attempts ("tries again after a
+    /// short delay").
+    pub retry_delay_steps: u64,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> ApplyOptions {
+        ApplyOptions {
+            max_attempts: 5,
+            retry_delay_steps: 2_000,
+        }
+    }
+}
+
+/// Errors from apply.
+#[derive(Debug)]
+pub enum ApplyError {
+    /// Loading a helper or primary module failed.
+    Link(LinkError),
+    /// Run-pre matching aborted the update (§4.3).
+    Match(MatchError),
+    /// A primary relocation could not be fulfilled from bindings or
+    /// unique exported symbols.
+    Unresolved { unit: String, symbol: String },
+    /// The safety check kept failing: some function is non-quiescent.
+    NotQuiescent { fn_name: String, attempts: u32 },
+    /// A replaced function is too short to hold the trampoline.
+    TooShort { fn_name: String, len: u64 },
+    /// A hook function failed (non-zero return or oops).
+    Hook { kind: &'static str, detail: String },
+    /// A replaced function vanished from the match results (internal).
+    MissingMatch { fn_name: String },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Link(e) => write!(f, "module load failed: {e}"),
+            ApplyError::Match(e) => write!(f, "run-pre matching aborted: {e}"),
+            ApplyError::Unresolved { unit, symbol } => {
+                write!(f, "{unit}: cannot resolve `{symbol}` for replacement code")
+            }
+            ApplyError::NotQuiescent { fn_name, attempts } => write!(
+                f,
+                "`{fn_name}` busy on some thread's stack after {attempts} attempts; update abandoned"
+            ),
+            ApplyError::TooShort { fn_name, len } => {
+                write!(f, "`{fn_name}` is only {len} bytes; cannot place trampoline")
+            }
+            ApplyError::Hook { kind, detail } => write!(f, "{kind} hook failed: {detail}"),
+            ApplyError::MissingMatch { fn_name } => {
+                write!(f, "internal: no match entry for `{fn_name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<LinkError> for ApplyError {
+    fn from(e: LinkError) -> ApplyError {
+        ApplyError::Link(e)
+    }
+}
+
+impl From<MatchError> for ApplyError {
+    fn from(e: MatchError) -> ApplyError {
+        ApplyError::Match(e)
+    }
+}
+
+/// Errors from undo.
+#[derive(Debug)]
+pub enum UndoError {
+    /// Unknown update id, or not the most recent live update.
+    NotUndoable { id: String, reason: String },
+    /// Replacement code still on some stack.
+    NotQuiescent { fn_name: String, attempts: u32 },
+    /// A reverse hook failed.
+    Hook { kind: &'static str, detail: String },
+}
+
+impl fmt::Display for UndoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UndoError::NotUndoable { id, reason } => write!(f, "cannot undo {id}: {reason}"),
+            UndoError::NotQuiescent { fn_name, attempts } => write!(
+                f,
+                "replacement `{fn_name}` busy after {attempts} attempts; undo abandoned"
+            ),
+            UndoError::Hook { kind, detail } => write!(f, "{kind} hook failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for UndoError {}
+
+/// The Ksplice core state for one kernel.
+#[derive(Debug, Default)]
+pub struct Ksplice {
+    /// Applied updates, oldest first (reversed ones remain, flagged).
+    pub updates: Vec<AppliedUpdate>,
+    /// Monotonic counter for module naming.
+    counter: u64,
+}
+
+impl Ksplice {
+    /// Fresh core state.
+    pub fn new() -> Ksplice {
+        Ksplice::default()
+    }
+
+    /// The live (applied, not reversed) updates, oldest first.
+    pub fn live_updates(&self) -> impl Iterator<Item = &AppliedUpdate> {
+        self.updates.iter().filter(|u| !u.reversed)
+    }
+
+    /// For re-patching (§5.4): the latest replacement address for a
+    /// function previously patched in `unit`, if any.
+    fn latest_replacement(&self, unit: &str, fn_name: &str) -> Option<u64> {
+        self.live_updates()
+            .flat_map(|u| &u.sites)
+            .filter(|s| s.unit == unit && s.fn_name == fn_name)
+            .last()
+            .map(|s| s.replacement_addr)
+    }
+
+    /// `ksplice-apply`: applies a pack to the running kernel.
+    pub fn apply(
+        &mut self,
+        kernel: &mut Kernel,
+        pack: &UpdatePack,
+        opts: &ApplyOptions,
+    ) -> Result<usize, ApplyError> {
+        self.counter += 1;
+        let tag = format!("ksplice{}_{}", self.counter, sanitize(&pack.id));
+
+        // 1. Load helper modules (pre code; invisible to kallsyms so the
+        //    matcher cannot mistake them for run code). Kept loaded until
+        //    the update is committed, then unloaded to save memory (§5.1).
+        let mut helper_names = Vec::new();
+        for up in &pack.units {
+            let mut helper = up.helper.clone();
+            helper.name = format!("{tag}_helper_{}", sanitize(&up.unit));
+            kernel.insmod_with(&helper, true, false)?;
+            helper_names.push(helper.name);
+        }
+        let unload_helpers = |kernel: &mut Kernel| {
+            for name in &helper_names {
+                kernel.rmmod(name);
+            }
+        };
+
+        // 2. Run-pre match every affected unit.
+        let mut matches: BTreeMap<String, UnitMatch> = BTreeMap::new();
+        for up in &pack.units {
+            let mut overrides = BTreeMap::new();
+            for (_, fn_name) in &up.replaced_fns {
+                if let Some(addr) = self.latest_replacement(&up.unit, fn_name) {
+                    overrides.insert(fn_name.clone(), addr);
+                }
+            }
+            match match_unit(kernel, &up.helper, &overrides) {
+                Ok(m) => {
+                    matches.insert(up.unit.clone(), m);
+                }
+                Err(e) => {
+                    unload_helpers(kernel);
+                    return Err(e.into());
+                }
+            }
+        }
+
+        // 3. Load primary modules and fulfil their deferred relocations
+        //    from the recovered bindings.
+        let mut primaries: Vec<(String, LoadedModule, &Object)> = Vec::new();
+        let mut primary_names: Vec<String> = Vec::new();
+        for up in &pack.units {
+            let mut primary = up.primary.clone();
+            primary.name = format!("{tag}_primary_{}", sanitize(&up.unit));
+            let loaded = match kernel.insmod_with(&primary, true, true) {
+                Ok(m) => m,
+                Err(e) => {
+                    for n in &primary_names {
+                        kernel.rmmod(n);
+                    }
+                    unload_helpers(kernel);
+                    return Err(e.into());
+                }
+            };
+            primary_names.push(primary.name.clone());
+            primaries.push((up.unit.clone(), loaded, &up.primary));
+        }
+        let rollback_modules = |kernel: &mut Kernel| {
+            for n in &primary_names {
+                kernel.rmmod(n);
+            }
+            for n in &helper_names {
+                kernel.rmmod(n);
+            }
+        };
+        for (unit, loaded, _) in &primaries {
+            let um = &matches[unit];
+            for pending in &loaded.pending {
+                let s = um
+                    .bindings
+                    .get(&pending.symbol)
+                    .copied()
+                    .or_else(|| kernel.syms.lookup_global(&pending.symbol).map(|s| s.addr));
+                let Some(s) = s else {
+                    rollback_modules(kernel);
+                    return Err(ApplyError::Unresolved {
+                        unit: unit.clone(),
+                        symbol: pending.symbol.clone(),
+                    });
+                };
+                if let Err(e) = apply_reloc_at(
+                    &mut kernel.mem,
+                    pending.kind,
+                    pending.addr,
+                    s,
+                    pending.addend,
+                ) {
+                    rollback_modules(kernel);
+                    return Err(ApplyError::Link(e));
+                }
+            }
+        }
+
+        // 4. Resolve hooks from the primary objects' .ksplice.* sections.
+        let mut hooks = ResolvedHooks::default();
+        for (unit, loaded, obj) in &primaries {
+            if let Err(e) = resolve_hooks(kernel, unit, loaded, obj, &matches, &mut hooks) {
+                rollback_modules(kernel);
+                return Err(e);
+            }
+        }
+
+        // 5. Build the patch sites.
+        let mut sites = Vec::new();
+        for (up, (_, loaded, _)) in pack.units.iter().zip(&primaries) {
+            let um = &matches[&up.unit];
+            for (sec_name, fn_name) in &up.replaced_fns {
+                let Some(m) = um.fn_addrs.get(fn_name) else {
+                    rollback_modules(kernel);
+                    return Err(ApplyError::MissingMatch {
+                        fn_name: fn_name.clone(),
+                    });
+                };
+                if m.run_len < TRAMPOLINE_LEN as u64 {
+                    rollback_modules(kernel);
+                    return Err(ApplyError::TooShort {
+                        fn_name: fn_name.clone(),
+                        len: m.run_len,
+                    });
+                }
+                let replacement_addr = loaded.symbol_addr(fn_name).unwrap_or_else(|| {
+                    loaded
+                        .section(sec_name)
+                        .map(|(a, _)| a)
+                        .expect("replacement section loaded")
+                });
+                let replacement_len = loaded.section(sec_name).map(|(_, l)| l).unwrap_or(0);
+                sites.push(PatchSite {
+                    unit: up.unit.clone(),
+                    fn_name: fn_name.clone(),
+                    site_addr: m.run_addr,
+                    site_len: m.run_len,
+                    replacement_addr,
+                    replacement_len,
+                    saved: [0; TRAMPOLINE_LEN],
+                });
+            }
+        }
+
+        // 6. pre_apply hooks (ordinary context, may sleep).
+        if let Err(e) = run_hooks(kernel, &hooks, HookKind::PreApply) {
+            rollback_modules(kernel);
+            return Err(e);
+        }
+
+        // 7. stop_machine + safety check + trampolines, with retries.
+        let ranges: Vec<(u64, u64, String)> = sites
+            .iter()
+            .map(|s| (s.site_addr, s.site_len, s.fn_name.clone()))
+            .collect();
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, String> {
+                if let Some(busy) = busy_function(k, &ranges) {
+                    return Err(busy);
+                }
+                // Safe: write every trampoline.
+                let mut saved = Vec::with_capacity(sites.len());
+                for site in &sites {
+                    let mut buf = [0u8; TRAMPOLINE_LEN];
+                    buf.copy_from_slice(
+                        k.mem
+                            .peek(site.site_addr, TRAMPOLINE_LEN as u64)
+                            .expect("matched code is mapped"),
+                    );
+                    saved.push(buf);
+                    write_trampoline(k, site.site_addr, site.replacement_addr);
+                }
+                // Apply hooks run while the machine is stopped (§5.3).
+                for &h in hooks.of(HookKind::Apply) {
+                    if let Err(detail) = call_hook(k, h) {
+                        // Roll the trampolines back before reporting.
+                        for (site, orig) in sites.iter().zip(&saved) {
+                            k.mem.poke(site.site_addr, orig).expect("mapped");
+                        }
+                        return Err(format!("apply hook: {detail}"));
+                    }
+                }
+                Ok(saved)
+            });
+            match result {
+                Ok(saved) => {
+                    for (site, buf) in sites.iter_mut().zip(saved) {
+                        site.saved = buf;
+                    }
+                    break;
+                }
+                Err(busy) if attempt < opts.max_attempts => {
+                    // "Ksplice tries again after a short delay" (§5.2).
+                    let _ = busy;
+                    kernel.run(opts.retry_delay_steps);
+                }
+                Err(busy) => {
+                    rollback_modules(kernel);
+                    return Err(if busy.starts_with("apply hook") {
+                        ApplyError::Hook {
+                            kind: "ksplice_apply",
+                            detail: busy,
+                        }
+                    } else {
+                        ApplyError::NotQuiescent {
+                            fn_name: busy,
+                            attempts: attempt,
+                        }
+                    });
+                }
+            }
+        }
+
+        // 8. post_apply hooks; then drop the helpers to save memory
+        //    (§5.1: "After an update has been applied, its helper module
+        //    can be unloaded").
+        // A post_apply failure is logged, not fatal: the update is live.
+        if let Err(e) = run_hooks(kernel, &hooks, HookKind::PostApply) {
+            kernel.klog.push(format!("ksplice: {e}"));
+        }
+        unload_helpers(kernel);
+
+        self.updates.push(AppliedUpdate {
+            id: pack.id.clone(),
+            sites,
+            primary_modules: primary_names,
+            hooks,
+            reversed: false,
+        });
+        Ok(self.updates.len() - 1)
+    }
+
+    /// `ksplice-undo`: reverses the most recent live update.
+    ///
+    /// Only the top of the live stack may be reversed — an older update's
+    /// replacement code may be the *site* of a newer one's trampoline.
+    pub fn undo(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+    ) -> Result<(), UndoError> {
+        let Some(latest_live) = self.updates.iter().rposition(|u| !u.reversed) else {
+            return Err(UndoError::NotUndoable {
+                id: id.to_string(),
+                reason: "no live updates".to_string(),
+            });
+        };
+        if self.updates[latest_live].id != id {
+            return Err(UndoError::NotUndoable {
+                id: id.to_string(),
+                reason: format!(
+                    "only the most recent update ({}) can be reversed",
+                    self.updates[latest_live].id
+                ),
+            });
+        }
+        let update = self.updates[latest_live].clone();
+
+        run_hooks(kernel, &update.hooks, HookKind::PreReverse).map_err(|e| match e {
+            ApplyError::Hook { kind, detail } => UndoError::Hook { kind, detail },
+            other => UndoError::Hook {
+                kind: "ksplice_pre_reverse",
+                detail: other.to_string(),
+            },
+        })?;
+
+        // Reversal is safe only when no thread runs *replacement* code —
+        // and, because restoring the first bytes of the original function
+        // matters to threads inside it, the original ranges get the same
+        // check the paper applies on the apply side.
+        let mut ranges: Vec<(u64, u64, String)> = update
+            .sites
+            .iter()
+            .map(|s| (s.replacement_addr, s.replacement_len, s.fn_name.clone()))
+            .collect();
+        ranges.extend(
+            update
+                .sites
+                .iter()
+                .map(|s| (s.site_addr, s.site_len, format!("{} (original)", s.fn_name))),
+        );
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let result = kernel.stop_machine(|k| -> Result<(), String> {
+                if let Some(busy) = busy_function(k, &ranges) {
+                    return Err(busy);
+                }
+                for site in &update.sites {
+                    k.mem.poke(site.site_addr, &site.saved).expect("mapped");
+                }
+                for &h in update.hooks.of(HookKind::Reverse) {
+                    if let Err(detail) = call_hook(k, h) {
+                        return Err(format!("reverse hook: {detail}"));
+                    }
+                }
+                Ok(())
+            });
+            match result {
+                Ok(()) => break,
+                Err(busy) if attempt < opts.max_attempts => {
+                    let _ = busy;
+                    kernel.run(opts.retry_delay_steps);
+                }
+                Err(busy) => {
+                    return Err(UndoError::NotQuiescent {
+                        fn_name: busy,
+                        attempts: attempt,
+                    })
+                }
+            }
+        }
+        run_hooks(kernel, &update.hooks, HookKind::PostReverse).ok();
+        for name in &update.primary_modules {
+            kernel.rmmod(name);
+        }
+        self.updates[latest_live].reversed = true;
+        Ok(())
+    }
+}
+
+/// Returns the name of a function some live thread is inside, if any —
+/// the §5.2 safety condition over instruction pointers and return
+/// addresses.
+fn busy_function(kernel: &Kernel, ranges: &[(u64, u64, String)]) -> Option<String> {
+    for (_tid, backtrace) in kernel.all_backtraces() {
+        for addr in backtrace {
+            for (start, len, name) in ranges {
+                if addr >= *start && addr < start + len {
+                    return Some(name.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Writes the redirecting jump at a replaced function's entry.
+fn write_trampoline(kernel: &mut Kernel, site: u64, target: u64) {
+    let rel = target.wrapping_sub(site + TRAMPOLINE_LEN as u64) as i64;
+    let rel = i32::try_from(rel).expect("arena spans < 2 GiB");
+    let mut bytes = Vec::with_capacity(TRAMPOLINE_LEN);
+    Instr::Jmp32(rel).encode(&mut bytes);
+    debug_assert_eq!(bytes.len(), TRAMPOLINE_LEN);
+    kernel
+        .mem
+        .poke(site, &bytes)
+        .expect("matched code is mapped");
+}
+
+/// Resolves one unit's hook entries to loaded addresses.
+fn resolve_hooks(
+    kernel: &Kernel,
+    unit: &str,
+    loaded: &LoadedModule,
+    obj: &Object,
+    matches: &BTreeMap<String, UnitMatch>,
+    out: &mut ResolvedHooks,
+) -> Result<(), ApplyError> {
+    for kind in HookKind::ALL {
+        let Some((_, sec)) = obj.section_by_name(kind.section_name()) else {
+            continue;
+        };
+        debug_assert_eq!(sec.kind, SectionKind::Note);
+        for r in &sec.relocs {
+            debug_assert_eq!(r.kind, RelocKind::Abs64);
+            let name = obj
+                .symbols
+                .get(r.symbol)
+                .map(|s| s.name.as_str())
+                .unwrap_or("");
+            let addr = loaded
+                .symbol_addr(name)
+                .or_else(|| {
+                    matches
+                        .get(unit)
+                        .and_then(|m| m.bindings.get(name).copied())
+                })
+                .or_else(|| kernel.syms.lookup_global(name).map(|s| s.addr));
+            let Some(addr) = addr else {
+                return Err(ApplyError::Unresolved {
+                    unit: unit.to_string(),
+                    symbol: name.to_string(),
+                });
+            };
+            out.push(kind, addr);
+        }
+    }
+    Ok(())
+}
+
+/// Runs all hooks of a kind; a non-zero return or an oops aborts.
+fn run_hooks(kernel: &mut Kernel, hooks: &ResolvedHooks, kind: HookKind) -> Result<(), ApplyError> {
+    for &addr in hooks.of(kind) {
+        call_hook(kernel, addr).map_err(|detail| ApplyError::Hook {
+            kind: kind.macro_name(),
+            detail,
+        })?;
+    }
+    Ok(())
+}
+
+fn call_hook(kernel: &mut Kernel, addr: u64) -> Result<(), String> {
+    match kernel.call_at(addr, &[]) {
+        Ok(0) => Ok(()),
+        Ok(code) => Err(format!("hook returned {code}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}

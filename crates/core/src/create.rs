@@ -1,0 +1,233 @@
+//! `ksplice-create`: from original source + unified diff to an update
+//! pack (paper §3, Figure 1, §5).
+//!
+//! The pipeline: build the original tree (*pre*), apply the patch and
+//! build again (*post*) — both with per-item sections — then diff the
+//! object code and package the changed functions. A patch that changes a
+//! pre-existing datum's initialiser or size is refused unless the caller
+//! sets [`CreateOptions::accept_data_changes`], which corresponds to the
+//! §2 workflow: a programmer has reviewed the patch's data-structure
+//! semantics (and typically added custom hook code to migrate live
+//! instances, §5.3).
+
+use ksplice_lang::{build_tree, Options, SourceTree};
+use ksplice_patch::Patch;
+
+use crate::differ::{diff_builds, DataChange};
+use crate::package::{build_packs, UpdatePack};
+
+/// Policy knobs for update creation.
+#[derive(Debug, Clone, Default)]
+pub struct CreateOptions {
+    /// Accept patches that change pre-existing data initialisers/sizes.
+    /// Off by default: such patches "change the semantics of persistent
+    /// data structures" (Table 1) and need programmer attention.
+    pub accept_data_changes: bool,
+    /// Compiler options for the pre/post builds. `None` uses
+    /// [`Options::pre_post`]. ksplice-create should use the same compiler
+    /// version as the original kernel build; a mismatch here is *detected later*
+    /// by run-pre matching, not at create time (§4.3).
+    pub build_options: Option<Options>,
+}
+
+/// Errors from `ksplice-create`.
+#[derive(Debug)]
+pub enum CreateError {
+    /// The unified diff did not parse.
+    PatchParse(ksplice_patch::ParseError),
+    /// The patch did not apply to the given source tree.
+    PatchApply(ksplice_patch::ApplyError),
+    /// A build failed (pre builds failing means the wrong source was
+    /// supplied; post builds failing means a broken patch).
+    Compile {
+        phase: &'static str,
+        error: ksplice_lang::CompileError,
+    },
+    /// The patch changes persistent data semantics and
+    /// `accept_data_changes` was not set.
+    DataSemantics { changes: Vec<(String, DataChange)> },
+    /// The patch produced no object-code change at all.
+    NoEffect,
+}
+
+impl std::fmt::Display for CreateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreateError::PatchParse(e) => write!(f, "bad patch: {e}"),
+            CreateError::PatchApply(e) => write!(f, "patch does not apply: {e}"),
+            CreateError::Compile { phase, error } => write!(f, "{phase} build failed: {error}"),
+            CreateError::DataSemantics { changes } => {
+                write!(
+                    f,
+                    "patch changes persistent data (needs custom code): {}",
+                    changes
+                        .iter()
+                        .map(|(u, c)| format!("{u}:{}", c.section))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+            CreateError::NoEffect => write!(f, "patch has no object-code effect"),
+        }
+    }
+}
+
+impl std::error::Error for CreateError {}
+
+/// Applies a unified diff to a source tree, returning the patched tree.
+pub fn apply_patch_to_tree(tree: &SourceTree, patch: &Patch) -> Result<SourceTree, CreateError> {
+    let mut out = tree.clone();
+    let results = patch
+        .apply_all(&|path| tree.get(path).map(|s| s.to_string()))
+        .map_err(CreateError::PatchApply)?;
+    for (path, contents) in results {
+        match contents {
+            Some(c) => out.insert(&path, &c),
+            None => {
+                out.remove(&path);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `ksplice-create`: builds pre and post and packages the update.
+///
+/// Returns the pack together with the patched source tree — the caller
+/// needs the latter as the "previously-patched source" when stacking a
+/// further update later (§5.4).
+pub fn create_update(
+    id: &str,
+    source: &SourceTree,
+    patch_text: &str,
+    opts: &CreateOptions,
+) -> Result<(UpdatePack, SourceTree), CreateError> {
+    let patch = Patch::parse(patch_text).map_err(CreateError::PatchParse)?;
+    let build_opts = opts.build_options.clone().unwrap_or_else(Options::pre_post);
+
+    let pre = build_tree(source, &build_opts).map_err(|error| CreateError::Compile {
+        phase: "pre",
+        error,
+    })?;
+    let patched = apply_patch_to_tree(source, &patch)?;
+    let post = build_tree(&patched, &build_opts).map_err(|error| CreateError::Compile {
+        phase: "post",
+        error,
+    })?;
+
+    let diff = diff_builds(&pre, &post);
+    if diff.affected().count() == 0 {
+        return Err(CreateError::NoEffect);
+    }
+    let data_changes: Vec<(String, DataChange)> = diff
+        .data_changes()
+        .map(|(u, c)| (u.to_string(), c.clone()))
+        .collect();
+    if !data_changes.is_empty() && !opts.accept_data_changes {
+        return Err(CreateError::DataSemantics {
+            changes: data_changes,
+        });
+    }
+    Ok((build_packs(id, &pre, &post, &diff), patched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(files: &[(&str, &str)]) -> SourceTree {
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    const BASE: &str = "int limit = 10;\nint check(int x) {\n    if (x > limit) {\n        return 0 - 1;\n    }\n    return x;\n}\n";
+
+    #[test]
+    fn simple_create() {
+        let src = tree(&[("m.kc", BASE)]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -1,5 +1,5 @@
+ int limit = 10;
+ int check(int x) {
+-    if (x > limit) {
++    if (x >= limit) {
+         return 0 - 1;
+     }
+";
+        let (pack, patched) =
+            create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap();
+        assert_eq!(pack.units.len(), 1);
+        assert_eq!(pack.replaced_fn_count(), 1);
+        assert!(patched.get("m.kc").unwrap().contains(">="));
+    }
+
+    #[test]
+    fn data_init_change_refused_by_default() {
+        let src = tree(&[("m.kc", BASE)]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -1,2 +1,2 @@
+-int limit = 10;
++int limit = 99;
+ int check(int x) {
+";
+        let err = create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap_err();
+        assert!(matches!(err, CreateError::DataSemantics { .. }));
+        // With the programmer's sign-off it packages.
+        let opts = CreateOptions {
+            accept_data_changes: true,
+            ..CreateOptions::default()
+        };
+        create_update("cve-x", &src, patch, &opts).unwrap();
+    }
+
+    #[test]
+    fn comment_only_patch_has_no_effect() {
+        let src = tree(&[("m.kc", BASE)]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -1,2 +1,3 @@
+ int limit = 10;
++// audited 2008-05
+ int check(int x) {
+";
+        let err = create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap_err();
+        assert!(matches!(err, CreateError::NoEffect));
+    }
+
+    #[test]
+    fn broken_patch_reports_post_build_failure() {
+        let src = tree(&[("m.kc", BASE)]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -2,3 +2,3 @@
+ int check(int x) {
+-    if (x > limit) {
++    if (x > limit { // syntax error
+         return 0 - 1;
+";
+        let err = create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap_err();
+        assert!(matches!(err, CreateError::Compile { phase: "post", .. }));
+    }
+
+    #[test]
+    fn nonapplying_patch_rejected() {
+        let src = tree(&[("m.kc", BASE)]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -1,1 +1,1 @@
+-int completely_unrelated;
++int nope;
+";
+        let err = create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap_err();
+        assert!(matches!(err, CreateError::PatchApply(_)));
+    }
+}

@@ -1,0 +1,425 @@
+//! Pre-post differencing (paper §3).
+//!
+//! Both trees are built with `-ffunction-sections`/`-fdata-sections`, so
+//! the unit of comparison is a section. Two function sections are *equal*
+//! when their instruction bytes match with every relocation field masked
+//! out and their relocation lists agree symbolically (same offsets,
+//! kinds, addends and symbol names). Extraneous differences — a function
+//! recompiled to different-but-equivalent bytes — are safely treated as
+//! changes: "we can safely replace a function with a different binary
+//! representation of the same source code, even if doing so is
+//! unnecessary" (§3.2).
+//!
+//! Data sections get the same comparison; a changed *initialiser* on a
+//! pre-existing datum is exactly the "changes data init" condition of
+//! Table 1 and is reported separately, because replacing code cannot fix
+//! already-initialised instances — that takes programmer-written custom
+//! code (§5.3).
+
+use ksplice_object::{Object, ObjectSet, Section};
+
+/// Why a data section was flagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataChangeKind {
+    /// Same-named datum with a different initial value ("changes data
+    /// init", Table 1).
+    InitChanged,
+    /// Same-named datum with a different size (often "adds field to
+    /// struct" when the datum is a struct instance, Table 1).
+    SizeChanged { pre: u64, post: u64 },
+}
+
+/// A flagged change to a pre-existing datum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataChange {
+    /// Section name, e.g. `.data.init_task`.
+    pub section: String,
+    pub kind: DataChangeKind,
+}
+
+/// The diff for one compilation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnitDiff {
+    pub unit: String,
+    /// Function section names whose post code differs from pre (or which
+    /// are new in post). These become replacement code.
+    pub changed_fns: Vec<String>,
+    /// The subset of `changed_fns` with no pre counterpart (functions the
+    /// patch added).
+    pub new_fns: Vec<String>,
+    /// Function sections present in pre but absent in post (e.g. statics
+    /// fully inlined away after the patch). Harmless: the old code keeps
+    /// running for them unless also in `changed_fns` of callers.
+    pub removed_fns: Vec<String>,
+    /// Pre-existing data whose initialiser or size changed — needs custom
+    /// code (or must abort).
+    pub data_changes: Vec<DataChange>,
+    /// Data sections that are new in post (new statics, new strings);
+    /// they ship inside the primary module.
+    pub new_data: Vec<String>,
+}
+
+impl UnitDiff {
+    /// True when the patch had no object-level effect on this unit.
+    pub fn is_empty(&self) -> bool {
+        self.changed_fns.is_empty() && self.data_changes.is_empty() && self.new_data.is_empty()
+    }
+}
+
+/// The whole diff between a pre and post build.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BuildDiff {
+    pub units: Vec<UnitDiff>,
+}
+
+impl BuildDiff {
+    /// All affected (non-empty) unit diffs.
+    pub fn affected(&self) -> impl Iterator<Item = &UnitDiff> {
+        self.units.iter().filter(|u| !u.is_empty())
+    }
+
+    /// All data changes across units.
+    pub fn data_changes(&self) -> impl Iterator<Item = (&str, &DataChange)> {
+        self.units
+            .iter()
+            .flat_map(|u| u.data_changes.iter().map(move |d| (u.unit.as_str(), d)))
+    }
+
+    /// Total number of changed functions.
+    pub fn changed_fn_count(&self) -> usize {
+        self.units.iter().map(|u| u.changed_fns.len()).sum()
+    }
+}
+
+/// Compares a whole pre build against a post build.
+pub fn diff_builds(pre: &ObjectSet, post: &ObjectSet) -> BuildDiff {
+    let mut units = Vec::new();
+    for (name, post_obj) in post.iter() {
+        match pre.get(name) {
+            Some(pre_obj) => {
+                if pre_obj != post_obj {
+                    units.push(diff_unit(pre_obj, post_obj));
+                }
+            }
+            None => {
+                // A whole new compilation unit: everything is new.
+                let mut d = UnitDiff {
+                    unit: name.to_string(),
+                    ..UnitDiff::default()
+                };
+                for sec in &post_obj.sections {
+                    if sec.is_function_text() {
+                        d.changed_fns.push(sec.name.clone());
+                        d.new_fns.push(sec.name.clone());
+                    } else if is_data_section(sec) {
+                        d.new_data.push(sec.name.clone());
+                    }
+                }
+                units.push(d);
+            }
+        }
+    }
+    BuildDiff { units }
+}
+
+fn is_data_section(sec: &Section) -> bool {
+    sec.is_alloc() && !sec.flags.exec
+}
+
+/// Diffs one unit present in both builds.
+pub fn diff_unit(pre: &Object, post: &Object) -> UnitDiff {
+    debug_assert_eq!(pre.name, post.name);
+    let mut d = UnitDiff {
+        unit: post.name.clone(),
+        ..UnitDiff::default()
+    };
+    let mut rodata_changed: Vec<String> = Vec::new();
+    for sec in &post.sections {
+        if sec.is_function_text() {
+            match pre.section_by_name(&sec.name) {
+                None => {
+                    d.changed_fns.push(sec.name.clone());
+                    d.new_fns.push(sec.name.clone());
+                }
+                Some((_, pre_sec)) => {
+                    if !sections_equivalent(pre, pre_sec, post, sec) {
+                        d.changed_fns.push(sec.name.clone());
+                    }
+                }
+            }
+        } else if is_data_section(sec) {
+            match pre.section_by_name(&sec.name) {
+                None => d.new_data.push(sec.name.clone()),
+                Some((_, pre_sec)) => {
+                    let changed =
+                        pre_sec.size != sec.size || !sections_equivalent(pre, pre_sec, post, sec);
+                    if !changed {
+                        continue;
+                    }
+                    if !sec.flags.write {
+                        // Changed *read-only* data (string literals and
+                        // friends) is not a persistent-data hazard: nobody
+                        // mutates it, and the primary module ships its own
+                        // copy. But the change only takes effect through
+                        // code that references the new bytes — so every
+                        // function referencing it must be replaced, even
+                        // if its own instructions did not change.
+                        rodata_changed.push(sec.name.clone());
+                    } else if pre_sec.size != sec.size {
+                        d.data_changes.push(DataChange {
+                            section: sec.name.clone(),
+                            kind: DataChangeKind::SizeChanged {
+                                pre: pre_sec.size,
+                                post: sec.size,
+                            },
+                        });
+                    } else {
+                        d.data_changes.push(DataChange {
+                            section: sec.name.clone(),
+                            kind: DataChangeKind::InitChanged,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Force-replace functions referencing changed read-only data.
+    for ro in &rodata_changed {
+        for sec in &post.sections {
+            if !sec.is_function_text() || d.changed_fns.contains(&sec.name) {
+                continue;
+            }
+            let references = sec.relocs.iter().any(|r| {
+                post.symbols
+                    .get(r.symbol)
+                    .and_then(|s| s.def)
+                    .and_then(|def| post.sections.get(def.section))
+                    .is_some_and(|target| target.name == *ro)
+            });
+            if references {
+                d.changed_fns.push(sec.name.clone());
+            }
+        }
+    }
+    for sec in &pre.sections {
+        if sec.is_function_text() && post.section_by_name(&sec.name).is_none() {
+            d.removed_fns.push(sec.name.clone());
+        }
+    }
+    d
+}
+
+/// Byte equality modulo relocation fields, plus symbolic relocation-list
+/// equality.
+pub fn sections_equivalent(
+    pre_obj: &Object,
+    pre: &Section,
+    post_obj: &Object,
+    post: &Section,
+) -> bool {
+    if pre.size != post.size || pre.data.len() != post.data.len() {
+        return false;
+    }
+    if pre.relocs.len() != post.relocs.len() {
+        return false;
+    }
+    // Relocation lists must agree symbolically, in order.
+    for (a, b) in pre.relocs.iter().zip(&post.relocs) {
+        if a.offset != b.offset || a.kind != b.kind || a.addend != b.addend {
+            return false;
+        }
+        let an = pre_obj.symbols.get(a.symbol).map(|s| s.name.as_str());
+        let bn = post_obj.symbols.get(b.symbol).map(|s| s.name.as_str());
+        if an != bn {
+            return false;
+        }
+    }
+    // Bytes must agree outside relocation fields.
+    let mut masked = vec![false; pre.data.len()];
+    for r in &pre.relocs {
+        let w = r.kind.width();
+        for i in 0..w {
+            if let Some(m) = masked.get_mut(r.offset as usize + i) {
+                *m = true;
+            }
+        }
+    }
+    pre.data
+        .iter()
+        .zip(&post.data)
+        .zip(&masked)
+        .all(|((a, b), &m)| m || a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksplice_lang::{build_tree, Options, SourceTree};
+
+    fn build(files: &[(&str, &str)]) -> ObjectSet {
+        let t: SourceTree = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        build_tree(&t, &Options::pre_post()).unwrap()
+    }
+
+    #[test]
+    fn identical_builds_have_empty_diff() {
+        let src = &[("m.kc", "int f() { return 1; } int g() { return f(); }")];
+        let d = diff_builds(&build(src), &build(src));
+        assert_eq!(d.affected().count(), 0);
+    }
+
+    #[test]
+    fn one_function_change_detected() {
+        let pre = build(&[("m.kc", "int f(int x) { if (x > 0) { return x; } return 0; }\
+                                    int g(int x) { int i; int s; s = 0; for (i = 0; i < x; i = i + 1) { s = s + i; } return s; }")]);
+        let post = build(&[("m.kc", "int f(int x) { if (x >= 0) { return x; } return 0; }\
+                                     int g(int x) { int i; int s; s = 0; for (i = 0; i < x; i = i + 1) { s = s + i; } return s; }")]);
+        let d = diff_builds(&pre, &post);
+        assert_eq!(d.units.len(), 1);
+        assert_eq!(d.units[0].changed_fns, vec![".text.f"]);
+        assert!(d.units[0].new_fns.is_empty());
+        assert!(d.units[0].data_changes.is_empty());
+    }
+
+    #[test]
+    fn inlined_callee_change_marks_caller_too() {
+        // `check` is small: inlined into callers at -O2 even without the
+        // `inline` keyword. Patching it must flag the *callers* (paper
+        // §4.2 — the core safety argument for object-level diffing).
+        let pre = build(&[(
+            "m.kc",
+            "static int check(int v) { if (v < 0) return 0; return 1; }\
+             int use_a(int x) { int i; int n; n = 0; for (i = 0; i < x; i = i + 1) { n = n + check(i - 2); } return n; }\
+             int use_b(int x) { int i; int n; n = 0; for (i = 0; i < x; i = i + 1) { n = n + check(i) * 2; } return n; }",
+        )]);
+        let post = build(&[(
+            "m.kc",
+            "static int check(int v) { if (v <= 0) return 0; return 1; }\
+             int use_a(int x) { int i; int n; n = 0; for (i = 0; i < x; i = i + 1) { n = n + check(i - 2); } return n; }\
+             int use_b(int x) { int i; int n; n = 0; for (i = 0; i < x; i = i + 1) { n = n + check(i) * 2; } return n; }",
+        )]);
+        let d = diff_builds(&pre, &post);
+        let changed = &d.units[0].changed_fns;
+        assert!(changed.contains(&".text.use_a".to_string()), "{changed:?}");
+        assert!(changed.contains(&".text.use_b".to_string()), "{changed:?}");
+    }
+
+    #[test]
+    fn data_init_change_flagged() {
+        let pre = build(&[("m.kc", "int limit = 100; int f() { return limit; }")]);
+        let post = build(&[("m.kc", "int limit = 200; int f() { return limit; }")]);
+        let d = diff_builds(&pre, &post);
+        assert_eq!(
+            d.units[0].data_changes,
+            vec![DataChange {
+                section: ".data.limit".to_string(),
+                kind: DataChangeKind::InitChanged,
+            }]
+        );
+        // The code itself did not change.
+        assert!(d.units[0].changed_fns.is_empty());
+    }
+
+    #[test]
+    fn new_function_and_static_detected() {
+        let pre = build(&[("m.kc", "int f() { return 1; }")]);
+        let post = build(&[(
+            "m.kc",
+            "int seen[4];\
+             int audit(int x) { int i; int n; n = 0; for (i = 0; i < 4; i = i + 1) { if (seen[i] == x) { n = n + 1; } } return n; }\
+             int f() { return audit(1) + 1; }",
+        )]);
+        let d = diff_builds(&pre, &post);
+        let u = &d.units[0];
+        assert!(u.new_fns.contains(&".text.audit".to_string()));
+        assert!(u.changed_fns.contains(&".text.f".to_string()));
+        assert!(u.new_data.contains(&".bss.seen".to_string()));
+        assert!(u.data_changes.is_empty());
+    }
+
+    #[test]
+    fn function_interface_change_marks_callers() {
+        // Changing a signature changes every caller's code (the paper's
+        // implicit-cast example from §3.1, transposed).
+        let pre = build(&[(
+            "m.kc",
+            "int callee(int a) { int i; int s; s = a; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }\
+             int caller(int x) { int i; int t; t = 0; for (i = 0; i < x; i = i + 1) { t = t + callee(x); } return t; }",
+        )]);
+        let post = build(&[(
+            "m.kc",
+            "int callee(int a, int b) { int i; int s; s = a + b; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }\
+             int caller(int x) { int i; int t; t = 0; for (i = 0; i < x; i = i + 1) { t = t + callee(x, 0); } return t; }",
+        )]);
+        let d = diff_builds(&pre, &post);
+        let changed = &d.units[0].changed_fns;
+        assert!(changed.contains(&".text.callee".to_string()));
+        assert!(changed.contains(&".text.caller".to_string()));
+    }
+
+    #[test]
+    fn reloc_symbol_rename_is_a_change() {
+        // Identical bytes but a relocation now points at a different
+        // symbol: must be detected as a change.
+        let pre = build(&[(
+            "m.kc",
+            "int alpha; int beta;\
+             int f() { int i; int s; s = 0; for (i = 0; i < 3; i = i + 1) { s = s + alpha; } return s; }",
+        )]);
+        let post = build(&[(
+            "m.kc",
+            "int alpha; int beta;\
+             int f() { int i; int s; s = 0; for (i = 0; i < 3; i = i + 1) { s = s + beta; } return s; }",
+        )]);
+        let d = diff_builds(&pre, &post);
+        assert_eq!(d.units[0].changed_fns, vec![".text.f"]);
+    }
+
+    #[test]
+    fn struct_growth_shows_as_size_change() {
+        let pre = build(&[(
+            "m.kc",
+            "struct conn { int state; }; struct conn table[8];\
+             int get(int i) { return table[i].state; }",
+        )]);
+        let post = build(&[(
+            "m.kc",
+            "struct conn { int state; int audit; }; struct conn table[8];\
+             int get(int i) { return table[i].state; }",
+        )]);
+        let d = diff_builds(&pre, &post);
+        assert!(d.units[0]
+            .data_changes
+            .iter()
+            .any(|c| matches!(c.kind, DataChangeKind::SizeChanged { .. })));
+    }
+
+    #[test]
+    fn changed_string_literal_replaces_referencing_function() {
+        // A string-only change leaves the function's instructions and
+        // relocations identical — but the function must still be replaced
+        // so the new bytes take effect (and this is NOT a Table-1 data
+        // semantics problem).
+        let pre = build(&[("m.kc", "int f() { printk(\"hello v1\"); return 0; }")]);
+        let post = build(&[("m.kc", "int f() { printk(\"hello v2\"); return 0; }")]);
+        let d = diff_builds(&pre, &post);
+        assert!(d.units[0].changed_fns.contains(&".text.f".to_string()));
+        assert!(d.units[0].data_changes.is_empty());
+    }
+
+    #[test]
+    fn whole_new_unit() {
+        let pre = build(&[("a.kc", "int f() { return 1; }")]);
+        let post = build(&[
+            ("a.kc", "int f() { return 1; }"),
+            ("b.kc", "int newbie() { return 2; }"),
+        ]);
+        let d = diff_builds(&pre, &post);
+        assert_eq!(d.units.len(), 1);
+        assert_eq!(d.units[0].unit, "b.kc");
+        assert_eq!(d.units[0].new_fns, vec![".text.newbie"]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Run-pre matching (paper §4).
+//!
+//! Given the *pre* object for an affected optimisation unit, the matcher
+//! walks every byte of each pre function against the corresponding bytes
+//! of the running kernel, simultaneously:
+//!
+//! * **verifying safety** — any genuine difference between the run code
+//!   and the pre code aborts the update (§4.2/§4.3), catching wrong
+//!   source, wrong compiler version, or unexpected modification; and
+//! * **resolving symbols** — at each unapplied pre relocation the
+//!   already-relocated run bytes give the symbol's address:
+//!   `S = val + P_run − A` (Figure 2), which disambiguates names that
+//!   appear multiple times in kallsyms (§4.1).
+//!
+//! The walker understands the architecture exactly as §4.3 prescribes:
+//! instruction lengths, canonical no-op sequences (skipped on either
+//! side), and PC-relative branches — a pre `rel32` may face a run `rel8`
+//! (or vice versa) as long as the *targets correspond*, which is checked
+//! through an offset-correspondence map built during the walk.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ksplice_asm::{branch_info, decode_len, nop_len_at, REL32_ADDEND};
+use ksplice_kernel::Kernel;
+use ksplice_object::{reloc::read_field, reloc::recover_symbol_value, Object, Reloc, Section};
+
+/// A matched function: where its run code lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnMatch {
+    pub run_addr: u64,
+    /// Length of the run code actually walked (may differ from the pre
+    /// length when branch forms or alignment no-ops differ).
+    pub run_len: u64,
+}
+
+/// The result of matching one optimisation unit.
+#[derive(Debug, Clone, Default)]
+pub struct UnitMatch {
+    pub unit: String,
+    /// Function symbol → its run location (trampoline target sites).
+    pub fn_addrs: BTreeMap<String, FnMatch>,
+    /// Symbol name → value recovered from run relocation fields. Used to
+    /// fulfil the primary module's dangling relocations. Deliberately
+    /// *separate* from `fn_addrs`: a reference to a previously-patched
+    /// function correctly resolves to its original (trampolined) address
+    /// even though the match site is the latest replacement code (§5.4).
+    pub bindings: BTreeMap<String, u64>,
+}
+
+/// Why run-pre matching aborted the update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// No kallsyms candidate for a pre function.
+    NoCandidate { function: String },
+    /// The pre code did not match the run code at any candidate.
+    Mismatch {
+        function: String,
+        /// Candidate run address that got furthest.
+        run_addr: u64,
+        /// Offset within the pre section where matching failed.
+        pre_offset: u64,
+        reason: String,
+    },
+    /// More than one candidate matched and nothing disambiguated them.
+    Ambiguous {
+        function: String,
+        candidates: Vec<u64>,
+    },
+    /// Two recovered values for the same symbol disagree.
+    InconsistentBinding { symbol: String, a: u64, b: u64 },
+    /// The pre object is malformed.
+    BadPreObject(String),
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::NoCandidate { function } => {
+                write!(f, "no run candidate for `{function}`")
+            }
+            MatchError::Mismatch {
+                function,
+                run_addr,
+                pre_offset,
+                reason,
+            } => write!(
+                f,
+                "run-pre mismatch in `{function}` at pre+{pre_offset:#x} (run {run_addr:#x}): {reason}"
+            ),
+            MatchError::Ambiguous { function, candidates } => write!(
+                f,
+                "`{function}` matches {} run locations ambiguously",
+                candidates.len()
+            ),
+            MatchError::InconsistentBinding { symbol, a, b } => write!(
+                f,
+                "symbol `{symbol}` recovered inconsistently: {a:#x} vs {b:#x}"
+            ),
+            MatchError::BadPreObject(m) => write!(f, "bad pre object: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Matches every function of a pre unit against the running kernel.
+///
+/// `overrides` forces candidate run addresses for named functions — the
+/// §5.4 mechanism: when re-patching an already-patched kernel, the match
+/// site for a previously-replaced function is the latest replacement
+/// code, not the (now trampolined) original.
+pub fn match_unit(
+    kernel: &Kernel,
+    pre: &Object,
+    overrides: &BTreeMap<String, u64>,
+) -> Result<UnitMatch, MatchError> {
+    // Collect the pre functions: (symbol name, section).
+    let mut functions: Vec<(&str, &Section)> = Vec::new();
+    for sym in pre.defined_functions() {
+        let def = sym.def.expect("defined");
+        let sec = pre
+            .sections
+            .get(def.section)
+            .ok_or_else(|| MatchError::BadPreObject(format!("symbol {} section", sym.name)))?;
+        if !sec.is_function_text() {
+            continue;
+        }
+        functions.push((sym.name.as_str(), sec));
+    }
+
+    // Phase 1: all successful candidate matches per function.
+    struct Candidate {
+        addr: u64,
+        run_len: u64,
+        recovered: Vec<(String, u64)>,
+    }
+    let mut table: Vec<(&str, Vec<Candidate>)> = Vec::new();
+    for (name, sec) in &functions {
+        let candidates: Vec<u64> = match overrides.get(*name) {
+            Some(&addr) => vec![addr],
+            None => kernel
+                .syms
+                .lookup_name(name)
+                .into_iter()
+                .filter(|s| s.is_func)
+                .map(|s| s.addr)
+                .collect(),
+        };
+        if candidates.is_empty() {
+            return Err(MatchError::NoCandidate {
+                function: name.to_string(),
+            });
+        }
+        let mut ok = Vec::new();
+        let mut best_err: Option<MatchError> = None;
+        for addr in candidates {
+            match match_function(kernel, pre, sec, addr) {
+                Ok((run_len, recovered)) => ok.push(Candidate {
+                    addr,
+                    run_len,
+                    recovered,
+                }),
+                Err(e) => {
+                    if best_err.is_none() {
+                        best_err = Some(e);
+                    }
+                }
+            }
+        }
+        if ok.is_empty() {
+            return Err(best_err.unwrap_or(MatchError::NoCandidate {
+                function: name.to_string(),
+            }));
+        }
+        table.push((name, ok));
+    }
+
+    // Phase 2: fixpoint — accept unambiguous functions, merge their
+    // recovered bindings, and use bindings to prune remaining ambiguity
+    // (a duplicate-named static's true address is pinned by references
+    // from its neighbours).
+    let mut out = UnitMatch {
+        unit: pre.name.clone(),
+        ..UnitMatch::default()
+    };
+    let mut accepted = vec![false; table.len()];
+    loop {
+        let mut progress = false;
+        for (i, (name, cands)) in table.iter_mut().enumerate() {
+            if accepted[i] {
+                continue;
+            }
+            if cands.len() > 1 {
+                // Prune candidates that contradict a recovered binding of
+                // this very symbol — but never prune to nothing (in the
+                // previously-patched case the binding legitimately points
+                // at the trampolined original, §5.4).
+                if let Some(&want) = out.bindings.get(*name) {
+                    if cands.iter().any(|c| c.addr == want) {
+                        cands.retain(|c| c.addr == want);
+                    }
+                }
+            }
+            if cands.len() == 1 {
+                let c = &cands[0];
+                for (sym, val) in &c.recovered {
+                    match out.bindings.get(sym) {
+                        Some(&prev) if prev != *val => {
+                            return Err(MatchError::InconsistentBinding {
+                                symbol: sym.clone(),
+                                a: prev,
+                                b: *val,
+                            })
+                        }
+                        Some(_) => {}
+                        None => {
+                            out.bindings.insert(sym.clone(), *val);
+                        }
+                    }
+                }
+                out.fn_addrs.insert(
+                    name.to_string(),
+                    FnMatch {
+                        run_addr: c.addr,
+                        run_len: c.run_len,
+                    },
+                );
+                accepted[i] = true;
+                progress = true;
+            }
+        }
+        if accepted.iter().all(|&a| a) {
+            break;
+        }
+        if !progress {
+            let (name, cands) = table
+                .iter()
+                .zip(&accepted)
+                .find(|(_, &a)| !a)
+                .map(|((n, c), _)| (*n, c))
+                .expect("some unaccepted entry exists");
+            return Err(MatchError::Ambiguous {
+                function: name.to_string(),
+                candidates: cands.iter().map(|c| c.addr).collect(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Walks one pre function against run memory at `run_addr`.
+///
+/// Returns the run length walked and the `(symbol, value)` pairs
+/// recovered from relocation fields.
+pub fn match_function(
+    kernel: &Kernel,
+    pre_obj: &Object,
+    pre: &Section,
+    run_addr: u64,
+) -> Result<(u64, Vec<(String, u64)>), MatchError> {
+    let fn_name = pre
+        .name
+        .strip_prefix(".text.")
+        .unwrap_or(&pre.name)
+        .to_string();
+    let mismatch = |pre_off: u64, reason: String| MatchError::Mismatch {
+        function: fn_name.clone(),
+        run_addr,
+        pre_offset: pre_off,
+        reason,
+    };
+    // Relocations indexed by the offset of their field.
+    let reloc_at = |off_range: std::ops::Range<u64>| -> Vec<&Reloc> {
+        pre.relocs
+            .iter()
+            .filter(|r| r.offset >= off_range.start && r.offset < off_range.end)
+            .collect()
+    };
+
+    // Read a window of run bytes generously sized: branch-form shrinkage
+    // can only make run code smaller; nops can make it bigger. 2x + slack.
+    let window = (pre.data.len() as u64) * 2 + 64;
+    let run_bytes = kernel
+        .mem
+        .peek(run_addr, window)
+        .or_else(|_| kernel.mem.peek(run_addr, pre.data.len() as u64))
+        .map_err(|e| mismatch(0, format!("run code unreadable: {e}")))?;
+
+    let mut recovered: Vec<(String, u64)> = Vec::new();
+    let mut pre_off = 0usize;
+    let mut run_off = 0usize;
+    // pre instruction-start offset → run offset.
+    let mut offset_map: BTreeMap<u64, u64> = BTreeMap::new();
+    // (pre-relative branch target, absolute run target) to verify later.
+    let mut pending: Vec<(u64, u64, u64)> = Vec::new(); // (pre_target, run_target, at)
+    let pre_len = pre.data.len();
+
+    while pre_off < pre_len {
+        // Skip alignment no-ops on both sides independently (§4.3).
+        while let Some(n) = nop_len_at(&pre.data, pre_off) {
+            pre_off += n;
+            if pre_off >= pre_len {
+                break;
+            }
+        }
+        if pre_off >= pre_len {
+            break;
+        }
+        while let Some(n) = nop_len_at(run_bytes, run_off) {
+            run_off += n;
+        }
+        offset_map.insert(pre_off as u64, run_off as u64);
+
+        let pre_instr_len = decode_len(&pre.data[pre_off..])
+            .map_err(|e| mismatch(pre_off as u64, format!("undecodable pre byte: {e}")))?;
+        let run_instr_len = decode_len(&run_bytes[run_off..])
+            .map_err(|e| mismatch(pre_off as u64, format!("undecodable run byte: {e}")))?;
+
+        let pre_branch = branch_info(&pre.data[pre_off..], pre_off as u64)
+            .map_err(|e| mismatch(pre_off as u64, e.to_string()))?;
+        let run_branch = branch_info(&run_bytes[run_off..], run_addr + run_off as u64)
+            .map_err(|e| mismatch(pre_off as u64, e.to_string()))?;
+
+        match (pre_branch, run_branch) {
+            (Some(pb), Some(rb)) => {
+                if pb.cond != rb.cond || pb.is_call != rb.is_call {
+                    return Err(mismatch(
+                        pre_off as u64,
+                        "branch kind/condition differs".to_string(),
+                    ));
+                }
+                let field = reloc_at(pre_off as u64..(pre_off + pre_instr_len) as u64);
+                match field.as_slice() {
+                    [] => {
+                        // Intra-section branch: targets must correspond.
+                        pending.push((pb.target, rb.target, pre_off as u64));
+                    }
+                    [r] => {
+                        // Cross-section branch: the run target *is* the
+                        // symbol value, modulo a non-conventional addend:
+                        // S = target − (A − REL32_ADDEND).
+                        let adjust = (r.addend - REL32_ADDEND) as u64;
+                        let value = rb.target.wrapping_sub(adjust);
+                        record(pre_obj, r, value, &mut recovered);
+                    }
+                    _ => {
+                        return Err(mismatch(
+                            pre_off as u64,
+                            "multiple relocations on one branch".to_string(),
+                        ))
+                    }
+                }
+            }
+            (None, None) => {
+                if pre_instr_len != run_instr_len {
+                    return Err(mismatch(
+                        pre_off as u64,
+                        format!("instruction length differs ({pre_instr_len} vs {run_instr_len})"),
+                    ));
+                }
+                // Compare bytes outside relocation fields; recover inside.
+                let relocs = reloc_at(pre_off as u64..(pre_off + pre_instr_len) as u64);
+                let mut field_mask = vec![false; pre_instr_len];
+                for r in &relocs {
+                    let start = (r.offset as usize) - pre_off;
+                    for b in field_mask.iter_mut().skip(start).take(r.kind.width()) {
+                        *b = true;
+                    }
+                }
+                for i in 0..pre_instr_len {
+                    if !field_mask[i] && pre.data[pre_off + i] != run_bytes[run_off + i] {
+                        return Err(mismatch(
+                            (pre_off + i) as u64,
+                            format!(
+                                "byte {:#04x} differs from run byte {:#04x}",
+                                pre.data[pre_off + i],
+                                run_bytes[run_off + i]
+                            ),
+                        ));
+                    }
+                }
+                for r in relocs {
+                    let field_run_off = run_off as u64 + (r.offset - pre_off as u64);
+                    let val = read_field(r.kind, run_bytes, field_run_off)
+                        .map_err(|e| mismatch(r.offset, e.to_string()))?;
+                    let p_run = run_addr + field_run_off;
+                    let value = recover_symbol_value(r.kind, val, p_run, r.addend);
+                    record(pre_obj, r, value, &mut recovered);
+                }
+            }
+            _ => {
+                return Err(mismatch(
+                    pre_off as u64,
+                    "branch vs non-branch instruction".to_string(),
+                ))
+            }
+        }
+        pre_off += pre_instr_len;
+        run_off += run_instr_len;
+    }
+    // End-of-function marker for branches that target the very end.
+    offset_map.insert(pre_off as u64, run_off as u64);
+
+    // Verify intra-section branch correspondence.
+    for (pre_target, run_target, at) in pending {
+        let Some(&mapped) = offset_map.get(&pre_target) else {
+            return Err(mismatch(
+                at,
+                format!("branch targets pre+{pre_target:#x}, not an instruction boundary"),
+            ));
+        };
+        // The run target may point at alignment nops that precede the
+        // mapped instruction; walking run nops forward must land on it.
+        let mut t = run_target;
+        while t < run_addr + mapped {
+            match nop_len_at(run_bytes, (t - run_addr) as usize) {
+                Some(n) => t += n as u64,
+                None => break,
+            }
+        }
+        if t != run_addr + mapped {
+            return Err(mismatch(
+                at,
+                format!(
+                    "branch target mismatch: pre+{pre_target:#x} maps to run {:#x}, run branch goes to {run_target:#x}",
+                    run_addr + mapped
+                ),
+            ));
+        }
+    }
+    Ok((run_off as u64, recovered))
+}
+
+fn record(pre_obj: &Object, r: &Reloc, value: u64, out: &mut Vec<(String, u64)>) {
+    if let Some(sym) = pre_obj.symbols.get(r.symbol) {
+        // The symbol value includes the defined symbol's offset; a reloc
+        // against `sym+off` recovers `S`, which is already the symbol
+        // address because the addend carried the offset.
+        out.push((sym.name.clone(), value));
+    }
+}

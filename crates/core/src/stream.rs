@@ -1,0 +1,352 @@
+//! Update streams — the paper's §8 future work, implemented.
+//!
+//! "One could use Ksplice to create hot update packages for common
+//! starting kernel configurations. People who subscribe their systems to
+//! these updates would be able to transparently receive kernel hot
+//! updates … without any ongoing effort from users" (§8).
+//!
+//! An [`UpdateStream`] is the distributor side: an ordered channel of
+//! update packs, each created against the previous patch level (the
+//! §5.4 previously-patched-source discipline), serialised as one blob. A
+//! [`Subscriber`] is the machine side: it tracks its patch level and
+//! [`Subscriber::sync`]s to the channel head, applying exactly the packs
+//! it is missing, in order — or rolls back level by level.
+
+use ksplice_kernel::Kernel;
+use ksplice_lang::SourceTree;
+use ksplice_patch::Patch;
+
+use crate::apply::{ApplyError, ApplyOptions, Ksplice, UndoError};
+use crate::create::{apply_patch_to_tree, create_update, CreateError, CreateOptions};
+use crate::package::UpdatePack;
+
+/// A distributor's ordered channel of hot updates for one base kernel
+/// configuration.
+#[derive(Debug, Default)]
+pub struct UpdateStream {
+    /// Packs in release order; pack `i` was created against the source
+    /// tree with packs `0..i` already applied.
+    packs: Vec<UpdatePack>,
+    /// The source tree at the channel head (for authoring the next pack).
+    head_source: Option<SourceTree>,
+}
+
+/// Errors authoring a stream.
+#[derive(Debug)]
+pub enum StreamError {
+    Create(CreateError),
+    /// A subscriber asked for a level the stream does not have.
+    NoSuchLevel {
+        level: usize,
+        head: usize,
+    },
+    Apply(ApplyError),
+    Undo(UndoError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Create(e) => write!(f, "authoring update failed: {e}"),
+            StreamError::NoSuchLevel { level, head } => {
+                write!(f, "no level {level} (head is {head})")
+            }
+            StreamError::Apply(e) => write!(f, "sync failed: {e}"),
+            StreamError::Undo(e) => write!(f, "rollback failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl UpdateStream {
+    /// An empty channel for the given base configuration.
+    pub fn new(base: SourceTree) -> UpdateStream {
+        UpdateStream {
+            packs: Vec::new(),
+            head_source: Some(base),
+        }
+    }
+
+    /// Current head patch level (0 = pristine base).
+    pub fn head(&self) -> usize {
+        self.packs.len()
+    }
+
+    /// Authors and publishes the next update from a unified diff against
+    /// the current head source (which this advances).
+    pub fn publish(
+        &mut self,
+        id: &str,
+        patch_text: &str,
+        opts: &CreateOptions,
+    ) -> Result<&UpdatePack, StreamError> {
+        let source = self.head_source.as_ref().expect("stream has a head source");
+        let (pack, patched) =
+            create_update(id, source, patch_text, opts).map_err(StreamError::Create)?;
+        self.head_source = Some(patched);
+        self.packs.push(pack);
+        Ok(self.packs.last().expect("just pushed"))
+    }
+
+    /// Convenience: publish from old/new contents of one file.
+    pub fn publish_change(
+        &mut self,
+        id: &str,
+        path: &str,
+        new_contents: &str,
+    ) -> Result<&UpdatePack, StreamError> {
+        let source = self.head_source.as_ref().expect("stream has a head source");
+        let old = source.get(path).unwrap_or_default();
+        let diff = ksplice_patch::make_diff(path, old, new_contents)
+            .ok_or(StreamError::Create(CreateError::NoEffect))?;
+        self.publish(id, &diff, &CreateOptions::default())
+    }
+
+    /// The packs a subscriber at `level` is missing.
+    pub fn missing_from(&self, level: usize) -> Result<&[UpdatePack], StreamError> {
+        self.packs.get(level..).ok_or(StreamError::NoSuchLevel {
+            level,
+            head: self.head(),
+        })
+    }
+
+    /// The source tree at a given level (0 = base), replaying patches.
+    /// Useful for provisioning fresh machines at the channel head.
+    pub fn source_at(&self, _level: usize) -> Option<&SourceTree> {
+        // Only the head is retained; historical levels live in the packs.
+        self.head_source.as_ref()
+    }
+
+    /// Serializes the whole channel.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"KSTR");
+        out.extend_from_slice(&(self.packs.len() as u32).to_le_bytes());
+        for p in &self.packs {
+            let body = p.to_bytes();
+            out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+
+    /// Parses a serialized channel (head source is not shipped —
+    /// subscribers never need it).
+    pub fn parse(bytes: &[u8]) -> Result<UpdateStream, String> {
+        if bytes.len() < 8 || &bytes[..4] != b"KSTR" {
+            return Err("not a ksplice update stream".to_string());
+        }
+        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let mut at = 8usize;
+        let mut packs = Vec::with_capacity(count.min(1 << 12));
+        for _ in 0..count {
+            let len = u32::from_le_bytes(
+                bytes
+                    .get(at..at + 4)
+                    .ok_or("truncated stream")?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            at += 4;
+            let body = bytes.get(at..at + len).ok_or("truncated stream")?;
+            at += len;
+            packs.push(UpdatePack::parse(body)?);
+        }
+        if at != bytes.len() {
+            return Err("trailing bytes in update stream".to_string());
+        }
+        Ok(UpdateStream {
+            packs,
+            head_source: None,
+        })
+    }
+}
+
+/// A machine subscribed to an [`UpdateStream`].
+#[derive(Debug, Default)]
+pub struct Subscriber {
+    ksplice: Ksplice,
+    level: usize,
+}
+
+impl Subscriber {
+    /// A fresh subscriber at level 0 (pristine kernel).
+    pub fn new() -> Subscriber {
+        Subscriber::default()
+    }
+
+    /// Current patch level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Applies, in order, every pack this machine is missing; returns how
+    /// many were applied. On a mid-sync failure the machine stays at the
+    /// last fully-applied level.
+    pub fn sync(
+        &mut self,
+        kernel: &mut Kernel,
+        stream: &UpdateStream,
+        opts: &ApplyOptions,
+    ) -> Result<usize, StreamError> {
+        let missing = stream.missing_from(self.level)?;
+        let mut applied = 0;
+        for pack in missing {
+            self.ksplice
+                .apply(kernel, pack, opts)
+                .map_err(StreamError::Apply)?;
+            self.level += 1;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Rolls back to `target_level` (undoing in LIFO order).
+    pub fn rollback_to(
+        &mut self,
+        kernel: &mut Kernel,
+        stream: &UpdateStream,
+        target_level: usize,
+        opts: &ApplyOptions,
+    ) -> Result<(), StreamError> {
+        while self.level > target_level {
+            let pack = &stream.packs[self.level - 1];
+            self.ksplice
+                .undo(kernel, &pack.id, opts)
+                .map_err(StreamError::Undo)?;
+            self.level -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// Replays a stream's patches onto a base tree — what a distributor does
+/// to cut the next full release alongside the hot-update channel.
+pub fn replay_sources(base: &SourceTree, patch_texts: &[&str]) -> Result<SourceTree, CreateError> {
+    let mut tree = base.clone();
+    for text in patch_texts {
+        let patch = Patch::parse(text).map_err(CreateError::PatchParse)?;
+        tree = apply_patch_to_tree(&tree, &patch)?;
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksplice_lang::Options;
+
+    fn base() -> SourceTree {
+        let mut t = SourceTree::new();
+        t.insert(
+            "gate.kc",
+            "int gate(int x) {\n    if (x > 100) {\n        return 0 - 1;\n    }\n    return x;\n}\n",
+        );
+        t
+    }
+
+    fn v(n: u32) -> String {
+        format!(
+            "int gate(int x) {{\n    if (x > {}) {{\n        return 0 - 1;\n    }}\n    return x;\n}}\n",
+            100 - n * 10
+        )
+    }
+
+    #[test]
+    fn subscriber_syncs_to_head_and_rolls_back() {
+        let mut stream = UpdateStream::new(base());
+        stream.publish_change("u1", "gate.kc", &v(1)).unwrap();
+        stream.publish_change("u2", "gate.kc", &v(2)).unwrap();
+        stream.publish_change("u3", "gate.kc", &v(3)).unwrap();
+        assert_eq!(stream.head(), 3);
+
+        let mut kernel = Kernel::boot(&base(), &Options::distro()).unwrap();
+        let mut sub = Subscriber::new();
+        let n = sub
+            .sync(&mut kernel, &stream, &ApplyOptions::default())
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(sub.level(), 3);
+        // Level 3 rejects anything over 70.
+        assert_eq!(kernel.call_function("gate", &[75]).unwrap() as i64, -1);
+        assert_eq!(kernel.call_function("gate", &[65]).unwrap(), 65);
+
+        // Re-sync is a no-op.
+        assert_eq!(
+            sub.sync(&mut kernel, &stream, &ApplyOptions::default())
+                .unwrap(),
+            0
+        );
+
+        // Roll back one level: threshold returns to 80.
+        sub.rollback_to(&mut kernel, &stream, 2, &ApplyOptions::default())
+            .unwrap();
+        assert_eq!(kernel.call_function("gate", &[75]).unwrap(), 75);
+        // And catch back up.
+        assert_eq!(
+            sub.sync(&mut kernel, &stream, &ApplyOptions::default())
+                .unwrap(),
+            1
+        );
+        assert_eq!(kernel.call_function("gate", &[75]).unwrap() as i64, -1);
+    }
+
+    #[test]
+    fn late_subscriber_catches_up_in_one_sync() {
+        let mut stream = UpdateStream::new(base());
+        stream.publish_change("u1", "gate.kc", &v(1)).unwrap();
+        stream.publish_change("u2", "gate.kc", &v(2)).unwrap();
+        // A machine booted from the pristine base, long after.
+        let mut kernel = Kernel::boot(&base(), &Options::distro()).unwrap();
+        let mut sub = Subscriber::new();
+        assert_eq!(
+            sub.sync(&mut kernel, &stream, &ApplyOptions::default())
+                .unwrap(),
+            2
+        );
+        assert_eq!(kernel.call_function("gate", &[85]).unwrap() as i64, -1);
+    }
+
+    #[test]
+    fn stream_serialization_roundtrip() {
+        let mut stream = UpdateStream::new(base());
+        stream.publish_change("u1", "gate.kc", &v(1)).unwrap();
+        stream.publish_change("u2", "gate.kc", &v(2)).unwrap();
+        let bytes = stream.to_bytes();
+        let parsed = UpdateStream::parse(&bytes).unwrap();
+        assert_eq!(parsed.head(), 2);
+        // A subscriber can sync from the deserialized channel.
+        let mut kernel = Kernel::boot(&base(), &Options::distro()).unwrap();
+        let mut sub = Subscriber::new();
+        assert_eq!(
+            sub.sync(&mut kernel, &parsed, &ApplyOptions::default())
+                .unwrap(),
+            2
+        );
+        assert!(UpdateStream::parse(b"JUNK").is_err());
+        assert!(UpdateStream::parse(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn bad_level_reported() {
+        let stream = UpdateStream::new(base());
+        assert!(matches!(
+            stream.missing_from(5),
+            Err(StreamError::NoSuchLevel { level: 5, head: 0 })
+        ));
+    }
+
+    #[test]
+    fn replay_reconstructs_head_source() {
+        let mut stream = UpdateStream::new(base());
+        let d1 =
+            ksplice_patch::make_diff("gate.kc", base().get("gate.kc").unwrap(), &v(1)).unwrap();
+        stream
+            .publish("u1", &d1, &CreateOptions::default())
+            .unwrap();
+        let replayed = replay_sources(&base(), &[&d1]).unwrap();
+        assert_eq!(replayed.get("gate.kc").unwrap(), v(1));
+        assert_eq!(stream.source_at(1).unwrap().get("gate.kc").unwrap(), v(1));
+    }
+}

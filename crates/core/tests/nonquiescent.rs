@@ -1,0 +1,93 @@
+//! Non-quiescent functions (paper §5.2, §7.1).
+//!
+//! Ksplice "cannot be used to automatically upgrade non-quiescent kernel
+//! functions" — e.g. `schedule`, which sleeping threads always occupy.
+//! But its custom-code hooks "allow a programmer to use the DynAMOS
+//! method for updating non-quiescent kernel threads": here, a `pre_apply`
+//! hook asks the long-running threads to drain, so by the time the
+//! safety-check retry loop runs, the function has become quiescent.
+
+use ksplice_core::{create_update, ApplyError, ApplyOptions, CreateOptions, Ksplice};
+use ksplice_kernel::{Kernel, ThreadState};
+use ksplice_lang::{Options, SourceTree};
+use ksplice_patch::make_diff;
+
+const SCHED: &str = "int keep_running = 1;\n\
+int loops_done;\n\
+int worker_loop() {\n\
+    while (keep_running) {\n\
+        loops_done = loops_done + 1;\n\
+        msleep(1);\n\
+    }\n\
+    return loops_done;\n\
+}\n";
+
+fn boot() -> (Kernel, SourceTree) {
+    let mut tree = SourceTree::new();
+    tree.insert("kernel/worker.kc", SCHED);
+    let kernel = Kernel::boot(&tree, &Options::distro()).unwrap();
+    (kernel, tree)
+}
+
+#[test]
+fn patching_an_occupied_function_abandons_after_retries() {
+    let (mut kernel, tree) = boot();
+    let tid = kernel.spawn("worker_loop", &[]).unwrap();
+    kernel.run(500);
+    assert!(matches!(
+        kernel.thread(tid).unwrap().state,
+        ThreadState::Runnable | ThreadState::Sleeping(_)
+    ));
+
+    // A plain patch to the occupied function: every retry finds the
+    // thread's frame inside worker_loop → abandoned (§5.2).
+    let patched = SCHED.replace("loops_done + 1", "loops_done + 2");
+    let patch = make_diff("kernel/worker.kc", SCHED, &patched).unwrap();
+    let (pack, _) =
+        create_update("plain", &tree, &patch, &CreateOptions::default()).unwrap();
+    let err = Ksplice::new()
+        .apply(
+            &mut kernel,
+            &pack,
+            &ApplyOptions {
+                max_attempts: 4,
+                retry_delay_steps: 200,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ApplyError::NotQuiescent { .. }), "{err}");
+}
+
+#[test]
+fn dynamos_style_hook_drains_the_function_then_patches() {
+    let (mut kernel, tree) = boot();
+    let tid = kernel.spawn("worker_loop", &[]).unwrap();
+    kernel.run(500);
+
+    // The programmer's version: the same fix plus a pre_apply hook that
+    // clears `keep_running`, so the occupying thread exits during the
+    // retry delays and the stack check passes (§7.1's manual method).
+    let patched = SCHED.replace("loops_done + 1", "loops_done + 2")
+        + "int drain_workers() {\n    keep_running = 0;\n    return 0;\n}\n\
+           ksplice_pre_apply(drain_workers);\n";
+    let patch = make_diff("kernel/worker.kc", SCHED, &patched).unwrap();
+    let (pack, _) =
+        create_update("drained", &tree, &patch, &CreateOptions::default()).unwrap();
+    let mut ks = Ksplice::new();
+    ks.apply(
+        &mut kernel,
+        &pack,
+        &ApplyOptions {
+            max_attempts: 10,
+            retry_delay_steps: 100_000,
+        },
+    )
+    .unwrap();
+
+    // The old thread exited during the drain; the update is live.
+    assert!(matches!(
+        kernel.thread(tid).unwrap().state,
+        ThreadState::Exited(_)
+    ));
+    assert_eq!(ks.live_updates().count(), 1);
+}

@@ -1,0 +1,81 @@
+//! Property tests on run-pre matching: for arbitrary generated kernels,
+//! the pre build always matches the freshly-booted run kernel, and
+//! tampering with the run text never panics the matcher.
+
+use std::collections::BTreeMap;
+
+use ksplice_core::match_unit;
+use ksplice_kernel::Kernel;
+use ksplice_lang::{build_tree, Options, SourceTree};
+use proptest::prelude::*;
+
+/// Generates a small random-but-valid kc unit: arithmetic functions with
+/// loops, branches, shared state and cross-references.
+fn arb_unit() -> impl Strategy<Value = String> {
+    (
+        1usize..4,
+        proptest::collection::vec((0u8..5, -20i64..20, 1i64..8), 1..4),
+    )
+        .prop_map(|(nfns, shapes)| {
+            let mut src = String::from("int shared_counter;\n");
+            for i in 0..nfns {
+                let (kind, imm, reps) = shapes[i % shapes.len()];
+                src.push_str(&format!("int fn{i}(int a, int b) {{\n"));
+                src.push_str("    int i;\n    int acc;\n    acc = a;\n");
+                match kind {
+                    0 => src.push_str(&format!(
+                        "    for (i = 0; i < {reps}; i = i + 1) {{ acc = acc + b + {imm}; }}\n"
+                    )),
+                    1 => src.push_str(&format!(
+                        "    if (a > b) {{ acc = acc * 2; }} else {{ acc = acc - {imm}; }}\n"
+                    )),
+                    2 => src.push_str(
+                        "    shared_counter = shared_counter + 1;\n    acc = acc + shared_counter;\n",
+                    ),
+                    3 if i > 0 => src.push_str(&format!("    acc = acc + fn{}(b, a);\n", i - 1)),
+                    _ => src.push_str(&format!("    acc = (acc ^ {imm}) & 0xffff;\n")),
+                }
+                src.push_str("    return acc;\n}\n");
+            }
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identity: the pre build of the same source always matches the
+    /// booted kernel, for every function, at the kallsyms addresses.
+    #[test]
+    fn same_source_always_matches(src in arb_unit()) {
+        let mut tree = SourceTree::new();
+        tree.insert("gen.kc", &src);
+        let kernel = Kernel::boot(&tree, &Options::distro()).unwrap();
+        let pre = build_tree(&tree, &Options::pre_post()).unwrap();
+        let m = match_unit(&kernel, pre.get("gen.kc").unwrap(), &BTreeMap::new()).unwrap();
+        prop_assert!(!m.fn_addrs.is_empty());
+        for (name, fm) in &m.fn_addrs {
+            let k = kernel.syms.lookup_global(name).unwrap();
+            prop_assert_eq!(fm.run_addr, k.addr);
+        }
+    }
+
+    /// Tamper totality: flipping a bit anywhere in a run function never
+    /// panics the matcher — it either aborts (the §4.2 guarantee for code
+    /// bytes) or, when the flip landed inside a relocation field, yields
+    /// a different recovered binding.
+    #[test]
+    fn tampering_never_panics(src in arb_unit(), which in any::<proptest::sample::Index>()) {
+        let mut tree = SourceTree::new();
+        tree.insert("gen.kc", &src);
+        let mut kernel = Kernel::boot(&tree, &Options::distro()).unwrap();
+        let pre = build_tree(&tree, &Options::pre_post()).unwrap();
+        let unit = pre.get("gen.kc").unwrap();
+        let sym = kernel.syms.lookup_global("fn0").unwrap();
+        let (addr, size) = (sym.addr, sym.size.max(8));
+        let off = which.index(size as usize) as u64;
+        let b = kernel.mem.peek(addr + off, 1).unwrap()[0];
+        kernel.mem.poke(addr + off, &[b ^ 0x80]).unwrap();
+        let _ = match_unit(&kernel, unit, &BTreeMap::new());
+    }
+}

@@ -1,0 +1,321 @@
+//! The end-to-end evaluation driver (paper §6.2–§6.3).
+//!
+//! For every corpus entry: boot the vulnerable kernel, (optionally) prove
+//! the exploit works, build the hot update with `ksplice-create`, apply
+//! it to the running kernel, run the correctness-checking stress test,
+//! prove the exploit is dead, and reverse the update. The aggregate
+//! report regenerates the paper's headline numbers, Figure 3 and
+//! Table 1.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice};
+use ksplice_kernel::Kernel;
+use ksplice_lang::Options;
+use ksplice_patch::Patch;
+
+use crate::corpus::{corpus, CustomReason, Cve};
+use crate::exploits::run_exploit;
+use crate::stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};
+use crate::stress::{load_stress, run_stress};
+use crate::tree::base_tree;
+
+/// The result of running one CVE end to end.
+#[derive(Debug, Clone)]
+pub struct CveOutcome {
+    pub id: &'static str,
+    /// Changed lines in the plain security patch (Figure 3's metric).
+    pub patch_loc: usize,
+    pub needs_custom_code: bool,
+    pub custom_lines: u32,
+    pub custom_reason: Option<CustomReason>,
+    /// Did the plain patch apply without programmer involvement?
+    pub plain_applied: bool,
+    /// Did the shippable patch (with custom code when needed) apply?
+    pub applied: bool,
+    pub replaced_fns: usize,
+    pub stress_ok: bool,
+    pub exploit_before: Option<bool>,
+    pub exploit_after: Option<bool>,
+    pub undo_ok: bool,
+    /// stop_machine pause for the apply (paper: ~0.7 ms).
+    pub pause: Duration,
+    pub helper_bytes: usize,
+    pub primary_bytes: usize,
+}
+
+/// Runs one corpus entry end to end.
+pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
+    let base = base_tree();
+    let mut kernel = Kernel::boot(&base, &Options::distro()).map_err(|e| format!("boot: {e}"))?;
+    let stress_entry = load_stress(&mut kernel)?;
+    run_stress(&mut kernel, stress_entry, stress_rounds.min(5))
+        .map_err(|e| format!("{}: baseline {e}", case.id))?;
+
+    let exploit_before = run_exploit(&mut kernel, case);
+    if let Some(worked) = exploit_before {
+        if !worked {
+            return Err(format!("{}: exploit should work pre-patch", case.id));
+        }
+    }
+
+    // First, the §2 check: does the *plain* patch make it through
+    // ksplice-create with no programmer involvement?
+    let plain_patch = case.patch_text();
+    let patch_loc = Patch::parse(&plain_patch)
+        .map(|p| p.changed_line_count())
+        .map_err(|e| format!("{}: {e}", case.id))?;
+    let plain = create_update(case.id, &base, &plain_patch, &CreateOptions::default());
+    let plain_applied = plain.is_ok();
+
+    // The shippable update: with custom code (and the programmer's
+    // data-semantics sign-off) when the corpus says it is needed.
+    let (pack, _patched) = if case.needs_custom_code() {
+        let opts = CreateOptions {
+            accept_data_changes: true,
+            ..CreateOptions::default()
+        };
+        create_update(case.id, &base, &case.full_patch_text(), &opts)
+            .map_err(|e| format!("{}: create: {e}", case.id))?
+    } else {
+        plain.map_err(|e| format!("{}: create: {e}", case.id))?
+    };
+
+    let mut ks = Ksplice::new();
+    ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+        .map_err(|e| format!("{}: apply: {e}", case.id))?;
+    let pause = kernel.last_stop_machine.unwrap_or_default();
+
+    let stress_ok = run_stress(&mut kernel, stress_entry, stress_rounds).is_ok();
+    let exploit_after = run_exploit(&mut kernel, case);
+
+    let undo_ok = ks
+        .undo(&mut kernel, case.id, &ApplyOptions::default())
+        .is_ok();
+
+    Ok(CveOutcome {
+        id: case.id,
+        patch_loc,
+        needs_custom_code: case.needs_custom_code(),
+        custom_lines: case.custom.as_ref().map(|c| c.lines).unwrap_or(0),
+        custom_reason: case.custom.as_ref().map(|c| c.reason),
+        plain_applied,
+        applied: true,
+        replaced_fns: pack.replaced_fn_count(),
+        stress_ok,
+        exploit_before,
+        exploit_after,
+        undo_ok,
+        pause,
+        helper_bytes: pack.helper_size(),
+        primary_bytes: pack.primary_size(),
+    })
+}
+
+/// The full evaluation: every CVE plus the aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    pub outcomes: Vec<CveOutcome>,
+    pub symbol_stats: SymbolStats,
+    pub corpus_stats: CorpusStats,
+}
+
+impl EvalReport {
+    /// Headline: CVEs applied with no new code (paper: 56 of 64).
+    pub fn applied_without_new_code(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.plain_applied && !o.needs_custom_code)
+            .count()
+    }
+
+    /// Headline: CVEs applied in total (paper: 64 of 64).
+    pub fn applied_total(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.applied).count()
+    }
+
+    /// Average custom-code lines over the Table-1 entries (paper: ~17).
+    pub fn average_custom_lines(&self) -> f64 {
+        let custom: Vec<u32> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.needs_custom_code)
+            .map(|o| o.custom_lines)
+            .collect();
+        custom.iter().sum::<u32>() as f64 / custom.len().max(1) as f64
+    }
+
+    /// Figure 3: number of patches per 5-line bucket.
+    pub fn figure3(&self) -> Vec<(String, usize)> {
+        let locs: Vec<usize> = self.outcomes.iter().map(|o| o.patch_loc).collect();
+        figure3_buckets(&locs)
+    }
+
+    /// Table 1 rows, sorted paper-style (most recent first).
+    pub fn table1(&self) -> Vec<(&'static str, &'static str, u32)> {
+        let mut rows: Vec<(&'static str, &'static str, u32)> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.needs_custom_code)
+            .map(|o| {
+                let reason = match o.custom_reason {
+                    Some(CustomReason::AddsFieldToStruct) => "adds field to struct",
+                    _ => "changes data init",
+                };
+                (o.id, reason, o.custom_lines)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.0.cmp(a.0));
+        rows
+    }
+
+    /// Renders the report the way the paper's evaluation section does.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== Ksplice evaluation (paper §6) ==");
+        let _ = writeln!(
+            s,
+            "patches applied without new code: {} of {} (paper: 56 of 64)",
+            self.applied_without_new_code(),
+            self.outcomes.len()
+        );
+        let _ = writeln!(
+            s,
+            "patches applied in total:         {} of {} (paper: 64 of 64)",
+            self.applied_total(),
+            self.outcomes.len()
+        );
+        let _ = writeln!(
+            s,
+            "avg custom code lines (Table 1):  {:.1} (paper: ~17)",
+            self.average_custom_lines()
+        );
+        let exploits: Vec<&CveOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.exploit_before.is_some())
+            .collect();
+        let _ = writeln!(
+            s,
+            "exploits defeated:                {} of {} (paper: 4 of 4)",
+            exploits
+                .iter()
+                .filter(|o| o.exploit_before == Some(true) && o.exploit_after == Some(false))
+                .count(),
+            exploits.len()
+        );
+        let stress_fail = self.outcomes.iter().filter(|o| !o.stress_ok).count();
+        let _ = writeln!(s, "stress-test failures:             {stress_fail}");
+        let max_pause = self
+            .outcomes
+            .iter()
+            .map(|o| o.pause)
+            .max()
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "max stop_machine pause:           {:?} (paper: ~0.7 ms)",
+            max_pause
+        );
+        let _ = writeln!(s, "\n-- Figure 3: number of patches by patch length --");
+        for (bucket, n) in self.figure3() {
+            if n > 0 {
+                let _ = writeln!(s, "{bucket:>6} lines: {}", "#".repeat(n));
+            }
+        }
+        let _ = writeln!(s, "\n-- Table 1: patches that need new code --");
+        let _ = writeln!(
+            s,
+            "{:<16} {:<22} {:>9}",
+            "CVE ID", "Reason for failure", "New code"
+        );
+        for (id, reason, lines) in self.table1() {
+            let _ = writeln!(s, "{id:<16} {reason:<22} {lines:>4} lines");
+        }
+        let _ = writeln!(
+            s,
+            "\n-- Symbol ambiguity (paper: 7.9% of symbols, 21.1% of units) --"
+        );
+        let _ = writeln!(
+            s,
+            "{} of {} symbols ambiguous ({:.1}%); {} of {} units affected ({:.1}%)",
+            self.symbol_stats.ambiguous_symbols,
+            self.symbol_stats.total_symbols,
+            self.symbol_stats.ambiguous_fraction * 100.0,
+            self.symbol_stats.units_with_ambiguous,
+            self.symbol_stats.total_units,
+            self.symbol_stats.unit_fraction * 100.0,
+        );
+        let _ = writeln!(
+            s,
+            "patches touching inlined fns: {} of 64 (paper: 20); declared inline: {} (paper: 4); ambiguous symbols: {} (paper: 5)",
+            self.corpus_stats.touching_inlined.len(),
+            self.corpus_stats.touching_inline_keyword.len(),
+            self.corpus_stats.touching_ambiguous.len(),
+        );
+        s
+    }
+}
+
+/// Runs the whole corpus. `stress_rounds` trades coverage for time (the
+/// test suite uses a small number; the bench uses more).
+pub fn run_full_evaluation(stress_rounds: u64) -> Result<EvalReport, String> {
+    let cases = corpus();
+    let mut outcomes = Vec::with_capacity(cases.len());
+    for case in &cases {
+        outcomes.push(run_cve(case, stress_rounds)?);
+    }
+    let kernel =
+        Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| format!("boot: {e}"))?;
+    let units = base_tree()
+        .iter()
+        .filter(|(p, _)| p.ends_with(".kc"))
+        .count();
+    Ok(EvalReport {
+        symbol_stats: symbol_stats(&kernel, units),
+        corpus_stats: corpus_stats(&cases, &kernel),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_exploit_cve_end_to_end() {
+        let cases = corpus();
+        let prctl = cases.iter().find(|c| c.id == "CVE-2006-2451").unwrap();
+        let o = run_cve(prctl, 10).unwrap();
+        assert!(o.plain_applied);
+        assert!(o.applied && o.stress_ok && o.undo_ok);
+        assert_eq!(o.exploit_before, Some(true));
+        assert_eq!(o.exploit_after, Some(false));
+        assert!(o.patch_loc <= 5);
+    }
+
+    #[test]
+    fn one_custom_code_cve_end_to_end() {
+        let cases = corpus();
+        let shadow = cases.iter().find(|c| c.id == "CVE-2005-2709").unwrap();
+        let o = run_cve(shadow, 10).unwrap();
+        // The plain patch for the Table-1 init-changers fails create; for
+        // the shadow case the plain patch builds but lacks the migration.
+        assert!(o.applied && o.stress_ok && o.undo_ok);
+        assert_eq!(o.custom_lines, 48);
+    }
+
+    #[test]
+    fn a_data_init_cve_needs_signoff() {
+        let cases = corpus();
+        let brk = cases.iter().find(|c| c.id == "CVE-2008-0007").unwrap();
+        let o = run_cve(brk, 5).unwrap();
+        assert!(
+            !o.plain_applied,
+            "init change must be refused without sign-off"
+        );
+        assert!(o.applied && o.stress_ok && o.undo_ok);
+        assert_eq!(o.custom_lines, 34);
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation substrate for the Ksplice reproduction (paper §6).
+
+pub mod corpus;
+pub mod driver;
+pub mod exploits;
+pub mod stats;
+pub mod stress;
+pub mod tree;
+
+pub use corpus::{corpus, diff_trees, CustomCode, CustomReason, Cve, Edit, VulnClass};
+pub use driver::{run_cve, run_full_evaluation, CveOutcome, EvalReport};
+pub use exploits::run_exploit;
+pub use stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};
+pub use stress::{load_stress, run_stress, spawn_stress, STRESS_SRC};
+pub use tree::{base_tree, BASE_FILES};

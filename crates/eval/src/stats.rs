@@ -1,0 +1,211 @@
+//! Evaluation statistics (paper §6.3).
+//!
+//! Three measurements the paper uses to argue the object-code approach
+//! is necessary: symbol-name ambiguity in kallsyms, the incidence of
+//! inlining among patched functions, and how often the `inline` keyword
+//! would have predicted it (it would not).
+
+use std::collections::BTreeSet;
+
+use ksplice_kernel::Kernel;
+use ksplice_lang::{build_tree, tree_function_index, tree_inline_report, Options};
+use ksplice_object::ObjectSet;
+
+use crate::corpus::Cve;
+use crate::tree::base_tree;
+
+/// Kallsyms ambiguity measurements (paper: 6,164 symbols / 7.9 % of the
+/// total; 21.1 % of compilation units contain at least one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolStats {
+    pub total_symbols: usize,
+    pub ambiguous_symbols: usize,
+    pub ambiguous_fraction: f64,
+    pub total_units: usize,
+    pub units_with_ambiguous: usize,
+    pub unit_fraction: f64,
+}
+
+/// Computes kallsyms ambiguity statistics for a booted kernel.
+pub fn symbol_stats(kernel: &Kernel, total_units: usize) -> SymbolStats {
+    let total = kernel.syms.len();
+    let ambiguous = kernel.syms.ambiguous_symbol_count();
+    let units = kernel.syms.units_with_ambiguous_symbols().len();
+    SymbolStats {
+        total_symbols: total,
+        ambiguous_symbols: ambiguous,
+        ambiguous_fraction: ambiguous as f64 / total.max(1) as f64,
+        total_units,
+        units_with_ambiguous: units,
+        unit_fraction: units as f64 / total_units.max(1) as f64,
+    }
+}
+
+/// Per-corpus incidence statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// CVEs whose patch modifies a function that the distro build inlines
+    /// somewhere (paper: 20 of 64).
+    pub touching_inlined: Vec<&'static str>,
+    /// CVEs whose patch modifies a function declared `inline` (paper: 4
+    /// of 64).
+    pub touching_inline_keyword: Vec<&'static str>,
+    /// CVEs whose patch modifies a function referencing a symbol whose
+    /// name is ambiguous in kallsyms (paper: 5 of 64).
+    pub touching_ambiguous: Vec<&'static str>,
+}
+
+/// Computes the §6.3 incidence statistics for a corpus against the base
+/// tree.
+pub fn corpus_stats(corpus: &[Cve], kernel: &Kernel) -> CorpusStats {
+    let tree = base_tree();
+    let inline_map = tree_inline_report(&tree, &Options::distro()).expect("base tree compiles");
+    let inlined_fns: BTreeSet<&str> = inline_map
+        .values()
+        .flat_map(|r| r.keys().map(|k| k.as_str()))
+        .collect();
+    let fn_index = tree_function_index(&tree).expect("base tree parses");
+    let inline_kw_fns: BTreeSet<&str> = fn_index
+        .values()
+        .flatten()
+        .filter(|(_, kw)| *kw)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    // Pre build for relocation inspection.
+    let pre = build_tree(&tree, &Options::pre_post()).expect("base tree compiles");
+
+    let mut out = CorpusStats {
+        touching_inlined: Vec::new(),
+        touching_inline_keyword: Vec::new(),
+        touching_ambiguous: Vec::new(),
+    };
+    for case in corpus {
+        let inlined = case.edited_fns.iter().any(|f| inlined_fns.contains(f));
+        let kw = case.edited_fns.iter().any(|f| inline_kw_fns.contains(f));
+        let ambiguous = case
+            .edited_fns
+            .iter()
+            .any(|f| fn_references_ambiguous(&pre, kernel, f));
+        if inlined {
+            out.touching_inlined.push(case.id);
+        }
+        if kw {
+            out.touching_inline_keyword.push(case.id);
+        }
+        if ambiguous {
+            out.touching_ambiguous.push(case.id);
+        }
+    }
+    out
+}
+
+/// True when function `f` (in the pre build) references — or is itself —
+/// a symbol whose name appears more than once in kallsyms.
+fn fn_references_ambiguous(pre: &ObjectSet, kernel: &Kernel, f: &str) -> bool {
+    let section = format!(".text.{f}");
+    for (_, obj) in pre.iter() {
+        let Some((_, sec)) = obj.section_by_name(&section) else {
+            continue;
+        };
+        if kernel.syms.lookup_name(f).len() > 1 {
+            return true;
+        }
+        for r in &sec.relocs {
+            if let Some(sym) = obj.symbols.get(r.symbol) {
+                if kernel.syms.lookup_name(&sym.name).len() > 1 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Figure 3's histogram buckets: 0–80 in steps of 5, plus the ∞ bucket.
+pub fn figure3_buckets(loc_counts: &[usize]) -> Vec<(String, usize)> {
+    let mut buckets: Vec<(String, usize)> = (0..16)
+        .map(|i| (format!("{}-{}", i * 5 + 1, (i + 1) * 5), 0))
+        .collect();
+    buckets.push(("\u{221e}".to_string(), 0));
+    for &loc in loc_counts {
+        let idx = if loc == 0 { 0 } else { ((loc - 1) / 5).min(16) };
+        buckets[idx].1 += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus;
+    use ksplice_kernel::Kernel;
+
+    fn booted() -> Kernel {
+        Kernel::boot(&base_tree(), &Options::distro()).expect("boot")
+    }
+
+    #[test]
+    fn ambiguity_statistics_match_paper_shape() {
+        let kernel = booted();
+        let units = base_tree()
+            .iter()
+            .filter(|(p, _)| p.ends_with(".kc"))
+            .count();
+        let s = symbol_stats(&kernel, units);
+        // The paper reports 7.9 % ambiguous symbols and 21.1 % of units
+        // containing one; the synthetic tree lands in the same regime.
+        assert!(s.ambiguous_symbols >= 4, "{s:?}");
+        assert!(
+            s.ambiguous_fraction > 0.01 && s.ambiguous_fraction < 0.25,
+            "{s:?}"
+        );
+        assert!(s.units_with_ambiguous >= 4, "{s:?}");
+        assert!(s.unit_fraction > 0.05 && s.unit_fraction < 0.5, "{s:?}");
+    }
+
+    #[test]
+    fn inlining_statistics_match_paper() {
+        let kernel = booted();
+        let c = corpus();
+        let s = corpus_stats(&c, &kernel);
+        assert_eq!(
+            s.touching_inlined.len(),
+            20,
+            "paper: 20 of 64 modify an inlined function; got {:?}",
+            s.touching_inlined
+        );
+        assert_eq!(
+            s.touching_inline_keyword.len(),
+            4,
+            "paper: only 4 declare inline; got {:?}",
+            s.touching_inline_keyword
+        );
+        // The keyword set is a subset of the inlined set.
+        for id in &s.touching_inline_keyword {
+            assert!(s.touching_inlined.contains(id));
+        }
+    }
+
+    #[test]
+    fn ambiguous_symbol_patch_count_matches_paper() {
+        let kernel = booted();
+        let c = corpus();
+        let s = corpus_stats(&c, &kernel);
+        assert_eq!(
+            s.touching_ambiguous.len(),
+            5,
+            "paper: 5 of 64 modify a function with an ambiguous symbol; got {:?}",
+            s.touching_ambiguous
+        );
+    }
+
+    #[test]
+    fn figure3_bucketing() {
+        let b = figure3_buckets(&[2, 2, 7, 12, 85, 200]);
+        assert_eq!(b[0], ("1-5".to_string(), 2));
+        assert_eq!(b[1].1, 1);
+        assert_eq!(b[2].1, 1);
+        assert_eq!(b.last().unwrap().1, 2);
+        assert_eq!(b.iter().map(|(_, n)| n).sum::<usize>(), 6);
+    }
+}

@@ -1,0 +1,190 @@
+//! The kernel symbol table (`kallsyms`).
+//!
+//! Like Linux's, it contains **every** symbol — exported globals and
+//! file-scope statics alike — and, like Linux's, a bare name lookup may be
+//! ambiguous: the paper measures 6,164 duplicate-named symbols (7.9 % of
+//! the total) in Linux 2.6.27 (§6.3). [`Kallsyms::lookup_name`] therefore
+//! returns *all* candidates; resolving which one a relocation meant is
+//! exactly what run-pre matching exists for (§4.1). The `unit` field
+//! records the defining compilation unit for diagnostics and evaluation
+//! statistics only — Ksplice itself never consults it, since real
+//! kallsyms has no such column.
+
+use std::collections::BTreeMap;
+
+/// One symbol table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KSym {
+    pub name: String,
+    pub addr: u64,
+    pub size: u64,
+    /// Exported (global binding) vs file-local (static).
+    pub global: bool,
+    /// True for function symbols, false for data.
+    pub is_func: bool,
+    /// Defining compilation unit — diagnostics/statistics only.
+    pub unit: String,
+}
+
+/// The kernel's symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Kallsyms {
+    syms: Vec<KSym>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Kallsyms {
+    /// An empty table.
+    pub fn new() -> Kallsyms {
+        Kallsyms::default()
+    }
+
+    /// Adds a symbol.
+    pub fn insert(&mut self, sym: KSym) {
+        let idx = self.syms.len();
+        self.by_name.entry(sym.name.clone()).or_default().push(idx);
+        self.syms.push(sym);
+    }
+
+    /// All symbols with the given name (possibly several — local symbols
+    /// collide across units).
+    pub fn lookup_name(&self, name: &str) -> Vec<&KSym> {
+        self.by_name
+            .get(name)
+            .map(|v| v.iter().map(|&i| &self.syms[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The unique *global* symbol with this name, if exactly one exists —
+    /// the analogue of `kallsyms_lookup_name` for exported symbols, used
+    /// by the ordinary module loader.
+    pub fn lookup_global(&self, name: &str) -> Option<&KSym> {
+        let mut globals = self.lookup_name(name).into_iter().filter(|s| s.global);
+        let first = globals.next()?;
+        if globals.next().is_some() {
+            return None;
+        }
+        Some(first)
+    }
+
+    /// The symbol covering `addr`, if any (ties broken by closest start).
+    pub fn lookup_addr(&self, addr: u64) -> Option<&KSym> {
+        self.syms
+            .iter()
+            .filter(|s| addr >= s.addr && (s.size == 0 || addr < s.addr + s.size))
+            .max_by_key(|s| s.addr)
+    }
+
+    /// Removes every symbol belonging to `unit` (module unload).
+    pub fn remove_unit(&mut self, unit: &str) {
+        self.syms.retain(|s| s.unit != unit);
+        self.by_name.clear();
+        let mut by_name = BTreeMap::new();
+        for (i, s) in self.syms.iter().enumerate() {
+            by_name
+                .entry(s.name.clone())
+                .or_insert_with(Vec::new)
+                .push(i);
+        }
+        self.by_name = by_name;
+    }
+
+    /// Iterates all symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &KSym> {
+        self.syms.iter()
+    }
+
+    /// Total number of symbols.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Evaluation statistic: how many symbols share their name with at
+    /// least one other symbol (the paper's "6,164 symbols … 7.9 %").
+    pub fn ambiguous_symbol_count(&self) -> usize {
+        self.by_name
+            .values()
+            .filter(|v| v.len() > 1)
+            .map(|v| v.len())
+            .sum()
+    }
+
+    /// Evaluation statistic: units containing at least one symbol whose
+    /// name is shared (the paper's "21.1 % of the compilation units").
+    pub fn units_with_ambiguous_symbols(&self) -> Vec<&str> {
+        let mut units: Vec<&str> = self
+            .by_name
+            .values()
+            .filter(|v| v.len() > 1)
+            .flat_map(|v| v.iter().map(|&i| self.syms[i].unit.as_str()))
+            .collect();
+        units.sort_unstable();
+        units.dedup();
+        units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str, addr: u64, global: bool, unit: &str) -> KSym {
+        KSym {
+            name: name.to_string(),
+            addr,
+            size: 16,
+            global,
+            is_func: true,
+            unit: unit.to_string(),
+        }
+    }
+
+    #[test]
+    fn ambiguous_names_return_all_candidates() {
+        let mut k = Kallsyms::new();
+        k.insert(sym("debug", 0x1000, false, "drivers/dst.kc"));
+        k.insert(sym("debug", 0x2000, false, "drivers/dst_ca.kc"));
+        k.insert(sym("printk", 0x3000, true, "kernel/printk.kc"));
+        assert_eq!(k.lookup_name("debug").len(), 2);
+        assert_eq!(k.lookup_name("printk").len(), 1);
+        assert!(k.lookup_name("missing").is_empty());
+    }
+
+    #[test]
+    fn global_lookup_requires_uniqueness() {
+        let mut k = Kallsyms::new();
+        k.insert(sym("a", 0x1000, true, "x.kc"));
+        k.insert(sym("a", 0x2000, true, "y.kc")); // duplicate export
+        k.insert(sym("b", 0x3000, true, "x.kc"));
+        k.insert(sym("c", 0x4000, false, "x.kc"));
+        assert!(k.lookup_global("a").is_none());
+        assert_eq!(k.lookup_global("b").unwrap().addr, 0x3000);
+        assert!(k.lookup_global("c").is_none()); // local only
+    }
+
+    #[test]
+    fn addr_lookup() {
+        let mut k = Kallsyms::new();
+        k.insert(sym("f", 0x1000, true, "x.kc"));
+        k.insert(sym("g", 0x1010, true, "x.kc"));
+        assert_eq!(k.lookup_addr(0x1008).unwrap().name, "f");
+        assert_eq!(k.lookup_addr(0x1010).unwrap().name, "g");
+        assert!(k.lookup_addr(0x900).is_none());
+    }
+
+    #[test]
+    fn ambiguity_statistics() {
+        let mut k = Kallsyms::new();
+        k.insert(sym("debug", 0x1000, false, "a.kc"));
+        k.insert(sym("debug", 0x2000, false, "b.kc"));
+        k.insert(sym("x", 0x3000, true, "a.kc"));
+        k.insert(sym("y", 0x4000, true, "c.kc"));
+        assert_eq!(k.ambiguous_symbol_count(), 2);
+        assert_eq!(k.units_with_ambiguous_symbols(), vec!["a.kc", "b.kc"]);
+    }
+}

@@ -1,0 +1,550 @@
+//! The simulated kernel: boot, threads, scheduling, `stop_machine`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ksplice_lang::{build_tree, Options, SourceTree};
+use ksplice_object::{Object, ObjectSet};
+
+use crate::kallsyms::Kallsyms;
+use crate::loader::{load_kernel_image, load_module, LinkError, LoadedModule};
+use crate::mem::{Memory, Perms};
+use crate::native::{native_addr, RETURN_SENTINEL};
+
+/// Default per-thread kernel stack size (64 KiB).
+pub const STACK_SIZE: u64 = 64 * 1024;
+
+/// Scheduler quantum: instructions per slice.
+pub const QUANTUM: u64 = 64;
+
+/// A kernel oops: the fatal end of one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Oops {
+    pub tid: u64,
+    pub ip: u64,
+    pub reason: String,
+    /// Instruction pointer plus frame-pointer-chain return addresses.
+    pub backtrace: Vec<u64>,
+}
+
+/// Run state of a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadState {
+    Runnable,
+    /// Asleep until the given tick.
+    Sleeping(u64),
+    /// Finished with an exit code.
+    Exited(u64),
+    /// Killed by an oops.
+    Oopsed,
+}
+
+/// One kernel thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    pub tid: u64,
+    pub name: String,
+    pub regs: [u64; 16],
+    pub ip: u64,
+    pub zf: bool,
+    pub lf: bool,
+    pub state: ThreadState,
+    /// Stack region bounds (low, high); `sp` starts at `high`.
+    pub stack: (u64, u64),
+    /// Total instructions executed.
+    pub cycles: u64,
+}
+
+impl Thread {
+    /// The stack pointer.
+    pub fn sp(&self) -> u64 {
+        self.regs[15]
+    }
+
+    /// The frame pointer.
+    pub fn fp(&self) -> u64 {
+        self.regs[14]
+    }
+}
+
+/// Why [`Kernel::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// The step budget was exhausted.
+    Budget,
+    /// No runnable or sleeping threads remain.
+    AllExited,
+}
+
+/// The running kernel.
+pub struct Kernel {
+    pub mem: Memory,
+    pub syms: Kallsyms,
+    pub threads: Vec<Thread>,
+    next_tid: u64,
+    /// The kernel log (`printk` output).
+    pub klog: Vec<String>,
+    /// Scheduler tick counter.
+    pub ticks: u64,
+    /// All oopses so far (the kernel limps on, like a real one).
+    pub oopses: Vec<Oops>,
+    /// Loaded boot-image units and run-time modules.
+    pub modules: Vec<LoadedModule>,
+    /// kmalloc free list: (addr, size).
+    pub(crate) free_list: Vec<(u64, u64)>,
+    /// Shadow data structures: (object addr, key) → shadow addr
+    /// (paper §5.3 / DynAMOS).
+    pub(crate) shadows: HashMap<(u64, u64), u64>,
+    /// Deterministic PRNG state for the `random` native.
+    pub(crate) rng: u64,
+    /// Cached address of the kernel's `do_syscall`, if it exports one.
+    pub(crate) syscall_entry: Option<u64>,
+    /// Recycled thread stacks: (low, high) pairs ready for reuse (the
+    /// arena is a bump allocator, so reaped stacks must be recycled or
+    /// workloads that spawn many short-lived threads exhaust it).
+    free_stacks: Vec<(u64, u64)>,
+    /// Wall-clock duration of the most recent `stop_machine` call.
+    pub last_stop_machine: Option<Duration>,
+    /// Count of `stop_machine` invocations.
+    pub stop_machine_count: u64,
+    /// Number of simulated CPUs (scheduling is still sequential; this
+    /// scales the simulated capture cost of `stop_machine`).
+    pub num_cpus: u32,
+}
+
+impl Kernel {
+    /// Builds a source tree with the given options and boots the result.
+    pub fn boot(tree: &SourceTree, opts: &Options) -> Result<Kernel, BootError> {
+        let set = build_tree(tree, opts).map_err(BootError::Compile)?;
+        Kernel::boot_image(&set)
+    }
+
+    /// Boots a prebuilt kernel image.
+    pub fn boot_image(set: &ObjectSet) -> Result<Kernel, BootError> {
+        let mut mem = Memory::new();
+        let mut syms = Kallsyms::new();
+        let modules = load_kernel_image(&mut mem, &mut syms, set, &|n| native_addr(n))
+            .map_err(BootError::Link)?;
+        // Heap arena for kmalloc.
+        let heap_base = mem
+            .alloc_region("kheap", 8 * 1024 * 1024, 16, Perms::DATA)
+            .ok_or(BootError::NoMemory)?;
+        let syscall_entry = syms.lookup_global("do_syscall").map(|s| s.addr);
+        Ok(Kernel {
+            mem,
+            syms,
+            threads: Vec::new(),
+            next_tid: 1,
+            klog: Vec::new(),
+            ticks: 0,
+            oopses: Vec::new(),
+            modules,
+            free_list: vec![(heap_base, 8 * 1024 * 1024)],
+            shadows: HashMap::new(),
+            rng: 0x2545_f491_4f6c_dd1d,
+            syscall_entry,
+            free_stacks: Vec::new(),
+            last_stop_machine: None,
+            stop_machine_count: 0,
+            num_cpus: 4,
+        })
+    }
+
+    /// Spawns a kernel thread at the function named `entry` with up to six
+    /// arguments, returning its tid.
+    pub fn spawn_named(
+        &mut self,
+        entry: &str,
+        args: &[u64],
+        name: &str,
+    ) -> Result<u64, SpawnError> {
+        let sym = self
+            .syms
+            .lookup_global(entry)
+            .ok_or_else(|| SpawnError::NoEntry(entry.to_string()))?;
+        let addr = sym.addr;
+        self.spawn_at(addr, args, name)
+    }
+
+    /// Spawns a kernel thread at an absolute address.
+    pub fn spawn_at(&mut self, addr: u64, args: &[u64], name: &str) -> Result<u64, SpawnError> {
+        assert!(args.len() <= 6, "at most 6 arguments");
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        let (low, high) = match self.free_stacks.pop() {
+            Some(pair) => pair,
+            None => {
+                let low = self
+                    .mem
+                    .alloc_region(&format!("stack:{tid}"), STACK_SIZE, 16, Perms::DATA)
+                    .ok_or(SpawnError::NoMemory)?;
+                (low, low + STACK_SIZE)
+            }
+        };
+        let mut regs = [0u64; 16];
+        for (i, &a) in args.iter().enumerate() {
+            regs[1 + i] = a;
+        }
+        // Push the return sentinel so returning from the entry exits.
+        let sp = high - 8;
+        self.mem
+            .store_u64(sp, RETURN_SENTINEL)
+            .map_err(|_| SpawnError::NoMemory)?;
+        regs[15] = sp;
+        regs[14] = high; // fp: sentinel frame
+        self.threads.push(Thread {
+            tid,
+            name: name.to_string(),
+            regs,
+            ip: addr,
+            zf: false,
+            lf: false,
+            state: ThreadState::Runnable,
+            stack: (low, high),
+            cycles: 0,
+        });
+        Ok(tid)
+    }
+
+    /// Spawns with a default name.
+    pub fn spawn(&mut self, entry: &str, args: &[u64]) -> Result<u64, SpawnError> {
+        let name = format!("kthread-{entry}");
+        self.spawn_named(entry, args, &name)
+    }
+
+    /// Looks up a thread.
+    pub fn thread(&self, tid: u64) -> Option<&Thread> {
+        self.threads.iter().find(|t| t.tid == tid)
+    }
+
+    pub(crate) fn thread_mut(&mut self, tid: u64) -> Option<&mut Thread> {
+        self.threads.iter_mut().find(|t| t.tid == tid)
+    }
+
+    /// Round-robin scheduler: runs up to `max_steps` instructions in
+    /// [`QUANTUM`]-sized slices across all runnable threads.
+    pub fn run(&mut self, max_steps: u64) -> RunExit {
+        let mut budget = max_steps;
+        loop {
+            let mut progressed = false;
+            let tids: Vec<u64> = self.threads.iter().map(|t| t.tid).collect();
+            for tid in tids {
+                // Wake sleepers whose deadline has passed.
+                let ticks = self.ticks;
+                if let Some(t) = self.thread_mut(tid) {
+                    if let ThreadState::Sleeping(until) = t.state {
+                        if ticks >= until {
+                            t.state = ThreadState::Runnable;
+                        }
+                    }
+                }
+                let runnable = matches!(
+                    self.thread(tid).map(|t| &t.state),
+                    Some(ThreadState::Runnable)
+                );
+                if !runnable {
+                    continue;
+                }
+                progressed = true;
+                let slice = QUANTUM.min(budget);
+                let used = self.run_slice(tid, slice);
+                budget -= used;
+                if budget == 0 {
+                    return RunExit::Budget;
+                }
+            }
+            self.ticks += 1;
+            let any_alive = self
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, ThreadState::Runnable | ThreadState::Sleeping(_)));
+            if !any_alive {
+                return RunExit::AllExited;
+            }
+            if !progressed {
+                // Only sleepers remain; advance time.
+                continue;
+            }
+        }
+    }
+
+    /// Runs a single thread synchronously until it exits, oopses, or the
+    /// step limit is hit. Returns its exit code.
+    ///
+    /// This is how Ksplice invokes custom hook code (paper §5.3) and how
+    /// tests call kernel functions directly.
+    pub fn call_function(&mut self, entry: &str, args: &[u64]) -> Result<u64, CallError> {
+        let addr = self
+            .syms
+            .lookup_global(entry)
+            .map(|s| s.addr)
+            .ok_or_else(|| CallError::NoEntry(entry.to_string()))?;
+        self.call_at(addr, args)
+    }
+
+    /// Like [`Kernel::call_function`] but with an absolute entry address.
+    pub fn call_at(&mut self, addr: u64, args: &[u64]) -> Result<u64, CallError> {
+        let tid = self
+            .spawn_at(addr, args, "call")
+            .map_err(CallError::Spawn)?;
+        let mut steps = 0u64;
+        const LIMIT: u64 = 50_000_000;
+        loop {
+            let used = self.run_slice(tid, 4096);
+            steps += used;
+            match &self.thread(tid).expect("thread exists").state {
+                ThreadState::Exited(code) => {
+                    let code = *code;
+                    self.reap(tid);
+                    return Ok(code);
+                }
+                ThreadState::Oopsed => {
+                    let oops = self.oopses.last().cloned();
+                    self.reap(tid);
+                    return Err(CallError::Oops(Box::new(oops.expect("oops recorded"))));
+                }
+                ThreadState::Sleeping(_) => {
+                    // A synchronous call may sleep; advance time.
+                    self.ticks += 1;
+                    let now = self.ticks;
+                    if let Some(t) = self.thread_mut(tid) {
+                        if let ThreadState::Sleeping(until) = t.state {
+                            if now >= until {
+                                t.state = ThreadState::Runnable;
+                            }
+                        }
+                    }
+                }
+                ThreadState::Runnable => {}
+            }
+            if steps >= LIMIT {
+                self.reap(tid);
+                return Err(CallError::StepLimit);
+            }
+        }
+    }
+
+    fn reap(&mut self, tid: u64) {
+        if let Some(t) = self.thread(tid) {
+            self.free_stacks.push(t.stack);
+        }
+        self.threads.retain(|t| t.tid != tid);
+    }
+
+    /// Removes exited/oopsed threads and recycles their stacks.
+    pub fn reap_dead(&mut self) -> usize {
+        let dead: Vec<u64> = self
+            .threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Exited(_) | ThreadState::Oopsed))
+            .map(|t| t.tid)
+            .collect();
+        for tid in &dead {
+            self.reap(*tid);
+        }
+        dead.len()
+    }
+
+    /// `stop_machine`: captures all CPUs and runs `f` with the machine
+    /// stopped (paper §5.2). Returns `f`'s result and records the pause
+    /// duration, which [`Kernel::last_stop_machine`] exposes for the
+    /// evaluation's "about 0.7 ms" measurement.
+    pub fn stop_machine<R>(&mut self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let start = Instant::now();
+        // Capture: in the sequential simulation no other thread can run
+        // while `f` executes; we model the per-CPU rendezvous cost by
+        // spinning briefly per simulated CPU, as the real stop_machine
+        // busy-waits for every CPU to check in.
+        for _ in 0..self.num_cpus {
+            std::hint::black_box(0u64);
+        }
+        let r = f(self);
+        self.last_stop_machine = Some(start.elapsed());
+        self.stop_machine_count += 1;
+        r
+    }
+
+    /// The frame-pointer backtrace of a thread: current `ip`, then every
+    /// return address on its kernel stack. This is the information the
+    /// paper's safety check consumes (§5.2): no thread may have its
+    /// instruction pointer *or any return address* inside a function being
+    /// replaced.
+    pub fn thread_backtrace(&self, t: &Thread) -> Vec<u64> {
+        let mut out = vec![t.ip];
+        let (low, high) = t.stack;
+        let mut fp = t.fp();
+        let mut hops = 0;
+        while fp >= low && fp + 16 <= high && hops < 128 {
+            // Frame layout: [fp] = saved fp, [fp+8] = return address.
+            let Ok(ret) = self.mem.load_u64(fp + 8) else {
+                break;
+            };
+            if ret == RETURN_SENTINEL || ret == 0 {
+                break;
+            }
+            out.push(ret);
+            let Ok(next) = self.mem.load_u64(fp) else {
+                break;
+            };
+            if next <= fp {
+                break;
+            }
+            fp = next;
+            hops += 1;
+        }
+        out
+    }
+
+    /// Backtraces of every live (runnable or sleeping) thread.
+    pub fn all_backtraces(&self) -> Vec<(u64, Vec<u64>)> {
+        self.threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Runnable | ThreadState::Sleeping(_)))
+            .map(|t| (t.tid, self.thread_backtrace(t)))
+            .collect()
+    }
+
+    /// Loads a module object at run time. Its symbols are added to
+    /// kallsyms with *local* visibility — modules do not export symbols
+    /// unless explicitly (Linux `EXPORT_SYMBOL` semantics).
+    pub fn insmod(
+        &mut self,
+        obj: &Object,
+        defer_unresolved: bool,
+    ) -> Result<LoadedModule, LinkError> {
+        self.insmod_with(obj, defer_unresolved, true)
+    }
+
+    /// Like [`Kernel::insmod`], optionally skipping kallsyms registration
+    /// entirely (Ksplice helper modules stay invisible so their pre code
+    /// is never mistaken for run code during matching).
+    pub fn insmod_with(
+        &mut self,
+        obj: &Object,
+        defer_unresolved: bool,
+        register_symbols: bool,
+    ) -> Result<LoadedModule, LinkError> {
+        let m = load_module(
+            &mut self.mem,
+            &self.syms,
+            obj,
+            &|n| native_addr(n),
+            defer_unresolved,
+        )?;
+        if register_symbols {
+            for (name, addr, _global, is_func, size) in &m.symbols {
+                self.syms.insert(crate::kallsyms::KSym {
+                    name: name.clone(),
+                    addr: *addr,
+                    size: *size,
+                    global: false,
+                    is_func: *is_func,
+                    unit: m.name.clone(),
+                });
+            }
+        }
+        self.modules.push(m.clone());
+        Ok(m)
+    }
+
+    /// Unloads a module: unmaps its regions, drops its kallsyms entries,
+    /// and forgets it. Returns false if no such module is loaded.
+    pub fn rmmod(&mut self, name: &str) -> bool {
+        let had = self.modules.iter().any(|m| m.name == name);
+        if !had {
+            return false;
+        }
+        self.mem.unmap_prefix(&format!("{name}:"));
+        self.syms.remove_unit(name);
+        self.modules.retain(|m| m.name != name);
+        true
+    }
+
+    /// kmalloc: first-fit from the free list.
+    pub(crate) fn kmalloc(&mut self, size: u64) -> u64 {
+        let size = size.max(8).div_ceil(16) * 16;
+        for i in 0..self.free_list.len() {
+            let (addr, avail) = self.free_list[i];
+            if avail >= size {
+                if avail == size {
+                    self.free_list.remove(i);
+                } else {
+                    self.free_list[i] = (addr + size, avail - size);
+                }
+                // Zero the block (kzalloc semantics keep tests simple).
+                let zeros = vec![0u8; size as usize];
+                let _ = self.mem.poke(addr, &zeros);
+                return addr;
+            }
+        }
+        0 // allocation failure, like kmalloc returning NULL
+    }
+
+    /// kfree: returns a block to the free list (no coalescing).
+    pub(crate) fn kfree(&mut self, addr: u64, size: u64) {
+        if addr != 0 {
+            let size = size.max(8).div_ceil(16) * 16;
+            self.free_list.push((addr, size));
+        }
+    }
+}
+
+/// Errors from booting.
+#[derive(Debug)]
+pub enum BootError {
+    Compile(ksplice_lang::CompileError),
+    Link(LinkError),
+    NoMemory,
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::Compile(e) => write!(f, "compile: {e}"),
+            BootError::Link(e) => write!(f, "link: {e}"),
+            BootError::NoMemory => write!(f, "out of memory during boot"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// Errors from spawning a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    NoEntry(String),
+    NoMemory,
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::NoEntry(n) => write!(f, "no unique exported symbol `{n}`"),
+            SpawnError::NoMemory => write!(f, "out of memory for thread stack"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// Errors from a synchronous call.
+#[derive(Debug)]
+pub enum CallError {
+    NoEntry(String),
+    Spawn(SpawnError),
+    Oops(Box<Oops>),
+    StepLimit,
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::NoEntry(n) => write!(f, "no unique exported symbol `{n}`"),
+            CallError::Spawn(e) => write!(f, "spawn failed: {e}"),
+            CallError::Oops(o) => write!(f, "kernel oops at {:#x}: {}", o.ip, o.reason),
+            CallError::StepLimit => write!(f, "call exceeded step limit"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}

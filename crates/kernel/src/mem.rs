@@ -1,0 +1,347 @@
+//! The simulated physical memory of the kernel.
+//!
+//! A single flat arena starting at [`KBASE`], carved into named regions
+//! with page-less but honest W^X accounting: ordinary stores through the
+//! VM fault on read-only or executable regions, and instruction fetch
+//! faults outside executable ones. Ksplice's trampoline writes go through
+//! the privileged [`Memory::poke`] interface, the analogue of the kernel
+//! briefly lifting write protection on its own text.
+
+use std::fmt;
+
+/// Base virtual address of kernel memory. Chosen to echo the paper's
+/// worked example addresses (`0xf0000000`, §4.3 Figure 2).
+pub const KBASE: u64 = 0xf000_0000;
+
+/// Total size of the simulated arena (64 MiB).
+pub const MEM_SIZE: u64 = 64 * 1024 * 1024;
+
+/// Memory access permissions of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perms {
+    pub read: bool,
+    pub write: bool,
+    pub exec: bool,
+}
+
+impl Perms {
+    /// Read + execute (kernel text).
+    pub const TEXT: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// Read + write (data, stacks, heap).
+    pub const DATA: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// Read only (rodata).
+    pub const RO: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+}
+
+/// A named allocated region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    pub name: String,
+    pub start: u64,
+    pub size: u64,
+    pub perms: Perms,
+}
+
+impl Region {
+    /// True if `addr..addr+len` lies wholly inside the region.
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.start
+            && len <= self.size
+            && addr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.start + self.size)
+    }
+}
+
+/// A memory fault (the raw material of a kernel oops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// Access to an address outside any region.
+    Unmapped { addr: u64, len: u64 },
+    /// Write to a region without write permission.
+    ReadOnly { addr: u64 },
+    /// Instruction fetch from a non-executable region.
+    NotExecutable { addr: u64 },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { addr, len } => {
+                write!(
+                    f,
+                    "unable to handle kernel paging request at {addr:#x} (len {len})"
+                )
+            }
+            MemFault::ReadOnly { addr } => write!(f, "write to read-only memory at {addr:#x}"),
+            MemFault::NotExecutable { addr } => {
+                write!(
+                    f,
+                    "instruction fetch from non-executable memory at {addr:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The kernel's memory arena.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    regions: Vec<Region>,
+    /// Bump cursor for region allocation.
+    cursor: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl Memory {
+    /// A fresh arena with no regions.
+    pub fn new() -> Memory {
+        Memory {
+            bytes: vec![0u8; MEM_SIZE as usize],
+            regions: Vec::new(),
+            cursor: KBASE,
+        }
+    }
+
+    /// Allocates a fresh region, returning its start address.
+    ///
+    /// Returns `None` when the arena is exhausted.
+    pub fn alloc_region(&mut self, name: &str, size: u64, align: u64, perms: Perms) -> Option<u64> {
+        let align = align.max(1);
+        debug_assert!(align.is_power_of_two());
+        let start = self.cursor.div_ceil(align) * align;
+        let end = start.checked_add(size)?;
+        if end > KBASE + MEM_SIZE {
+            return None;
+        }
+        self.cursor = end;
+        self.regions.push(Region {
+            name: name.to_string(),
+            start,
+            size,
+            perms,
+        });
+        Some(start)
+    }
+
+    /// The region containing `addr..addr+len`, if any.
+    pub fn region_at(&self, addr: u64, len: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr, len))
+    }
+
+    /// All regions, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Unmaps every region whose name starts with `prefix`, returning how
+    /// many were removed. The backing bytes are not reclaimed (the arena
+    /// is a bump allocator) but all further access faults — module
+    /// unloading semantics.
+    pub fn unmap_prefix(&mut self, prefix: &str) -> usize {
+        let before = self.regions.len();
+        self.regions.retain(|r| !r.name.starts_with(prefix));
+        before - self.regions.len()
+    }
+
+    /// Changes the permissions of the region starting exactly at `start`.
+    pub fn set_region_perms(&mut self, start: u64, perms: Perms) -> bool {
+        for r in &mut self.regions {
+            if r.start == start {
+                r.perms = perms;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn index(&self, addr: u64, len: u64) -> Result<usize, MemFault> {
+        if addr < KBASE || addr + len > KBASE + MEM_SIZE {
+            return Err(MemFault::Unmapped { addr, len });
+        }
+        Ok((addr - KBASE) as usize)
+    }
+
+    /// Checked load for the VM: requires a readable region.
+    pub fn load(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+        let region = self
+            .region_at(addr, len)
+            .ok_or(MemFault::Unmapped { addr, len })?;
+        if !region.perms.read {
+            return Err(MemFault::Unmapped { addr, len });
+        }
+        let i = self.index(addr, len)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Checked store for the VM: requires a writable region.
+    pub fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let len = data.len() as u64;
+        let region = self
+            .region_at(addr, len)
+            .ok_or(MemFault::Unmapped { addr, len })?;
+        if !region.perms.write {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        let i = self.index(addr, len)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Instruction fetch: up to `len` bytes from an executable region.
+    pub fn fetch(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+        let region = self
+            .region_at(addr, 1)
+            .ok_or(MemFault::Unmapped { addr, len: 1 })?;
+        if !region.perms.exec {
+            return Err(MemFault::NotExecutable { addr });
+        }
+        // Clamp to the region end so partial fetches at region tails work.
+        let avail = (region.start + region.size - addr).min(len);
+        let i = self.index(addr, avail)?;
+        Ok(&self.bytes[i..i + avail as usize])
+    }
+
+    /// Privileged read used by tooling (run-pre matching reads run text
+    /// irrespective of permissions).
+    pub fn peek(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+        let i = self.index(addr, len)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Privileged write used by the loader and by Ksplice's trampoline
+    /// insertion; ignores write protection but still requires the range to
+    /// be mapped.
+    pub fn poke(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let len = data.len() as u64;
+        self.region_at(addr, len)
+            .ok_or(MemFault::Unmapped { addr, len })?;
+        let i = self.index(addr, len)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Convenience: load a little-endian u64 (VM-checked).
+    pub fn load_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        Ok(u64::from_le_bytes(self.load(addr, 8)?.try_into().unwrap()))
+    }
+
+    /// Convenience: store a little-endian u64 (VM-checked).
+    pub fn store_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.store(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a NUL-terminated string (privileged; capped at 4096 bytes).
+    pub fn read_cstr(&self, addr: u64) -> Result<String, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..4096u64 {
+            let b = self.peek(addr + i, 1)?[0];
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw() {
+        let mut m = Memory::new();
+        let a = m.alloc_region("data", 64, 16, Perms::DATA).unwrap();
+        assert_eq!(a % 16, 0);
+        m.store_u64(a, 0xdead_beef).unwrap();
+        assert_eq!(m.load_u64(a).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn text_is_write_protected() {
+        let mut m = Memory::new();
+        let t = m.alloc_region("text", 64, 16, Perms::TEXT).unwrap();
+        assert_eq!(m.store(t, &[0x90]), Err(MemFault::ReadOnly { addr: t }));
+        // But poke (privileged) succeeds, like set_kernel_text_rw.
+        m.poke(t, &[0x90]).unwrap();
+        assert_eq!(m.peek(t, 1).unwrap(), &[0x90]);
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let mut m = Memory::new();
+        let d = m.alloc_region("data", 64, 16, Perms::DATA).unwrap();
+        assert_eq!(m.fetch(d, 4), Err(MemFault::NotExecutable { addr: d }));
+        let t = m.alloc_region("text", 64, 16, Perms::TEXT).unwrap();
+        assert!(m.fetch(t, 10).is_ok());
+    }
+
+    #[test]
+    fn fetch_clamps_at_region_end() {
+        let mut m = Memory::new();
+        let t = m.alloc_region("text", 8, 8, Perms::TEXT).unwrap();
+        assert_eq!(m.fetch(t + 6, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new();
+        assert!(matches!(m.load(KBASE, 8), Err(MemFault::Unmapped { .. })));
+        assert!(matches!(m.load(0x1000, 8), Err(MemFault::Unmapped { .. })));
+        // Gap between regions is unmapped even though backed by the arena.
+        let mut m = Memory::new();
+        m.alloc_region("a", 16, 16, Perms::DATA).unwrap();
+        assert!(matches!(
+            m.load(KBASE + 1024, 8),
+            Err(MemFault::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_region_access_faults() {
+        let mut m = Memory::new();
+        let a = m.alloc_region("a", 16, 16, Perms::DATA).unwrap();
+        m.alloc_region("b", 16, 16, Perms::DATA).unwrap();
+        // A straddling access is not contained in a single region.
+        assert!(m.load(a + 12, 8).is_err());
+    }
+
+    #[test]
+    fn arena_exhaustion() {
+        let mut m = Memory::new();
+        assert!(m
+            .alloc_region("big", MEM_SIZE + 1, 8, Perms::DATA)
+            .is_none());
+        assert!(m.alloc_region("all", MEM_SIZE, 8, Perms::DATA).is_some());
+        assert!(m.alloc_region("more", 8, 8, Perms::DATA).is_none());
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Memory::new();
+        let a = m.alloc_region("s", 16, 8, Perms::DATA).unwrap();
+        m.store(a, b"panic!\0junk").unwrap();
+        assert_eq!(m.read_cstr(a).unwrap(), "panic!");
+    }
+}

@@ -1,0 +1,316 @@
+//! The K64 virtual machine: instruction execution for kernel threads.
+
+use ksplice_asm::{decode, BinOp, Instr, Reg};
+
+use crate::kernel::{Kernel, Oops, ThreadState};
+use crate::native::{native_from_addr, NativeOutcome, NATIVE_BASE, RETURN_SENTINEL};
+
+/// Result of a single instruction step.
+enum Step {
+    /// Keep running.
+    Continue,
+    /// The thread gave up its slice voluntarily.
+    Yielded,
+    /// The thread went to sleep or exited or died.
+    Stopped,
+}
+
+impl Kernel {
+    /// Runs thread `tid` for at most `max_steps` instructions; returns the
+    /// number executed.
+    pub(crate) fn run_slice(&mut self, tid: u64, max_steps: u64) -> u64 {
+        let mut used = 0;
+        while used < max_steps {
+            match self.step(tid) {
+                Step::Continue => used += 1,
+                Step::Yielded => {
+                    used += 1;
+                    break;
+                }
+                Step::Stopped => {
+                    used += 1;
+                    break;
+                }
+            }
+        }
+        used
+    }
+
+    fn oops(&mut self, tid: u64, reason: String) -> Step {
+        let (ip, backtrace) = {
+            let t = self.thread(tid).expect("stepping a live thread");
+            (t.ip, self.thread_backtrace(t))
+        };
+        let sym = self
+            .syms
+            .lookup_addr(ip)
+            .map(|s| format!(" in {}", s.name))
+            .unwrap_or_default();
+        self.klog.push(format!("Oops: {reason}{sym} [tid {tid}]"));
+        self.oopses.push(Oops {
+            tid,
+            ip,
+            reason,
+            backtrace,
+        });
+        if let Some(t) = self.thread_mut(tid) {
+            t.state = ThreadState::Oopsed;
+        }
+        Step::Stopped
+    }
+
+    /// Executes one instruction (or native call) for `tid`.
+    fn step(&mut self, tid: u64) -> Step {
+        let (ip, regs) = {
+            let Some(t) = self.thread(tid) else {
+                return Step::Stopped;
+            };
+            if !matches!(t.state, ThreadState::Runnable) {
+                return Step::Stopped;
+            }
+            (t.ip, t.regs)
+        };
+
+        // Returning to the sentinel ends the thread.
+        if ip == RETURN_SENTINEL {
+            let code = regs[0];
+            let t = self.thread_mut(tid).expect("live thread");
+            t.state = ThreadState::Exited(code);
+            return Step::Stopped;
+        }
+
+        // Native-range dispatch.
+        if ip >= NATIVE_BASE {
+            let Some(f) = native_from_addr(ip) else {
+                return self.oops(tid, format!("jump to bad native address {ip:#x}"));
+            };
+            let args = [regs[1], regs[2], regs[3], regs[4], regs[5], regs[6]];
+            let outcome = self.dispatch_native(tid, f, args);
+            // Simulate `ret`: pop the return address.
+            let sp = regs[15];
+            let ret = match self.mem.load_u64(sp) {
+                Ok(v) => v,
+                Err(e) => return self.oops(tid, format!("native return: {e}")),
+            };
+            let t = self.thread_mut(tid).expect("live thread");
+            t.regs[15] = sp + 8;
+            t.ip = ret;
+            t.cycles += 1;
+            match outcome {
+                NativeOutcome::Return(v) => {
+                    t.regs[0] = v;
+                    return Step::Continue;
+                }
+                NativeOutcome::Sleep(until) => {
+                    t.regs[0] = 0;
+                    t.state = ThreadState::Sleeping(until);
+                    return Step::Stopped;
+                }
+                NativeOutcome::Yield => {
+                    t.regs[0] = 0;
+                    return Step::Yielded;
+                }
+                NativeOutcome::Fault(msg) => return self.oops(tid, msg),
+            }
+        }
+
+        // Ordinary instruction fetch + decode.
+        let instr = {
+            let bytes = match self.mem.fetch(ip, 10) {
+                Ok(b) => b,
+                Err(e) => return self.oops(tid, e.to_string()),
+            };
+            match decode(bytes) {
+                Ok((i, _)) => i,
+                Err(e) => return self.oops(tid, format!("invalid opcode: {e}")),
+            }
+        };
+        let len = instr.len() as u64;
+        let next = ip + len;
+
+        // Helper macros over the thread's registers.
+        macro_rules! reg {
+            ($r:expr) => {
+                regs[$r.num() as usize]
+            };
+        }
+
+        let mut new_regs = regs;
+        let mut new_ip = next;
+        let mut new_flags: Option<(bool, bool)> = None;
+        enum Mem {
+            None,
+            Store(u64, Vec<u8>),
+        }
+        let mut mem_op = Mem::None;
+        let mut result: Result<(), String> = Ok(());
+
+        match instr {
+            Instr::Hlt => {
+                let t = self.thread_mut(tid).expect("live thread");
+                t.state = ThreadState::Exited(regs[0]);
+                return Step::Stopped;
+            }
+            Instr::Nop1 | Instr::NopN(_) => {}
+            Instr::MovRR(d, s) => new_regs[d.num() as usize] = reg!(s),
+            Instr::MovRI32(d, v) => new_regs[d.num() as usize] = v as i64 as u64,
+            Instr::MovRI64(d, v) => new_regs[d.num() as usize] = v,
+            Instr::Ld(d, b, disp) => {
+                let addr = reg!(b).wrapping_add(disp as i64 as u64);
+                match self.mem.load_u64(addr) {
+                    Ok(v) => new_regs[d.num() as usize] = v,
+                    Err(e) => result = Err(e.to_string()),
+                }
+            }
+            Instr::St(b, s, disp) => {
+                let addr = reg!(b).wrapping_add(disp as i64 as u64);
+                mem_op = Mem::Store(addr, reg!(s).to_le_bytes().to_vec());
+            }
+            Instr::Ld8(d, b, disp) => {
+                let addr = reg!(b).wrapping_add(disp as i64 as u64);
+                match self.mem.load(addr, 1) {
+                    Ok(v) => new_regs[d.num() as usize] = v[0] as u64,
+                    Err(e) => result = Err(e.to_string()),
+                }
+            }
+            Instr::St8(b, s, disp) => {
+                let addr = reg!(b).wrapping_add(disp as i64 as u64);
+                mem_op = Mem::Store(addr, vec![reg!(s) as u8]);
+            }
+            Instr::Lea(d, b, disp) => {
+                new_regs[d.num() as usize] = reg!(b).wrapping_add(disp as i64 as u64)
+            }
+            Instr::Bin(op, d, s) => {
+                let a = reg!(d) as i64;
+                let b = reg!(s) as i64;
+                let v = match op {
+                    BinOp::Add => Some(a.wrapping_add(b)),
+                    BinOp::Sub => Some(a.wrapping_sub(b)),
+                    BinOp::Mul => Some(a.wrapping_mul(b)),
+                    BinOp::Div => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(a.wrapping_div(b))
+                        }
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            None
+                        } else {
+                            Some(a.wrapping_rem(b))
+                        }
+                    }
+                    BinOp::And => Some(a & b),
+                    BinOp::Or => Some(a | b),
+                    BinOp::Xor => Some(a ^ b),
+                    BinOp::Shl => Some(a.wrapping_shl(b as u32 & 63)),
+                    BinOp::Shr => Some(((a as u64).wrapping_shr(b as u32 & 63)) as i64),
+                };
+                match v {
+                    Some(v) => new_regs[d.num() as usize] = v as u64,
+                    None => result = Err("divide error".to_string()),
+                }
+            }
+            Instr::AddI(d, imm) => {
+                new_regs[d.num() as usize] = reg!(d).wrapping_add(imm as i64 as u64)
+            }
+            Instr::Neg(d) => new_regs[d.num() as usize] = (reg!(d) as i64).wrapping_neg() as u64,
+            Instr::Not(d) => new_regs[d.num() as usize] = !reg!(d),
+            Instr::Cmp(a, b) => {
+                let (x, y) = (reg!(a) as i64, reg!(b) as i64);
+                new_flags = Some((x == y, x < y));
+            }
+            Instr::CmpI(a, imm) => {
+                let (x, y) = (reg!(a) as i64, imm as i64);
+                new_flags = Some((x == y, x < y));
+            }
+            Instr::Jmp8(rel) => new_ip = next.wrapping_add(rel as i64 as u64),
+            Instr::Jmp32(rel) => new_ip = next.wrapping_add(rel as i64 as u64),
+            Instr::Jcc8(c, rel) => {
+                let t = self.thread(tid).expect("live thread");
+                if c.eval(t.zf, t.lf) {
+                    new_ip = next.wrapping_add(rel as i64 as u64);
+                }
+            }
+            // (Jcc32 handled below with identical semantics.)
+            Instr::Jcc32(c, rel) => {
+                let t = self.thread(tid).expect("live thread");
+                if c.eval(t.zf, t.lf) {
+                    new_ip = next.wrapping_add(rel as i64 as u64);
+                }
+            }
+            Instr::Call32(rel) => {
+                let sp = regs[15].wrapping_sub(8);
+                mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                new_regs[15] = sp;
+                new_ip = next.wrapping_add(rel as i64 as u64);
+            }
+            Instr::CallR(r) => {
+                let sp = regs[15].wrapping_sub(8);
+                mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                new_regs[15] = sp;
+                new_ip = reg!(r);
+            }
+            Instr::Ret => {
+                let sp = regs[15];
+                match self.mem.load_u64(sp) {
+                    Ok(v) => {
+                        new_regs[15] = sp + 8;
+                        new_ip = v;
+                    }
+                    Err(e) => result = Err(format!("ret: {e}")),
+                }
+            }
+            Instr::Push(r) => {
+                let sp = regs[15].wrapping_sub(8);
+                mem_op = Mem::Store(sp, reg!(r).to_le_bytes().to_vec());
+                new_regs[15] = sp;
+            }
+            Instr::Pop(r) => {
+                let sp = regs[15];
+                match self.mem.load_u64(sp) {
+                    Ok(v) => {
+                        new_regs[r.num() as usize] = v;
+                        new_regs[15] = sp + 8;
+                    }
+                    Err(e) => result = Err(format!("pop: {e}")),
+                }
+            }
+            Instr::Int(0x80) => {
+                // System call: an in-kernel call to `do_syscall`.
+                match self.syscall_entry {
+                    Some(entry) => {
+                        let sp = regs[15].wrapping_sub(8);
+                        mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                        new_regs[15] = sp;
+                        new_ip = entry;
+                    }
+                    None => result = Err("int 0x80 with no do_syscall".to_string()),
+                }
+            }
+            Instr::Int(v) => result = Err(format!("unexpected interrupt {v:#04x}")),
+        }
+
+        if let Err(msg) = result {
+            return self.oops(tid, msg);
+        }
+        if let Mem::Store(addr, bytes) = mem_op {
+            if let Err(e) = self.mem.store(addr, &bytes) {
+                return self.oops(tid, e.to_string());
+            }
+        }
+        let t = self.thread_mut(tid).expect("live thread");
+        t.regs = new_regs;
+        t.ip = new_ip;
+        if let Some((zf, lf)) = new_flags {
+            t.zf = zf;
+            t.lf = lf;
+        }
+        t.cycles += 1;
+        // A sanity backstop: the VM never lets a thread run off into
+        // unmapped space silently; the next fetch will oops instead.
+        let _ = Reg::R0;
+        Step::Continue
+    }
+}

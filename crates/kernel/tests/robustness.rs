@@ -1,0 +1,89 @@
+//! VM and kernel robustness: arithmetic edges, control-flow abuse, W^X.
+
+use ksplice_kernel::{Kernel, Perms};
+use ksplice_lang::{Options, SourceTree};
+
+fn boot(src: &str) -> Kernel {
+    let mut tree = SourceTree::new();
+    tree.insert("m.kc", src);
+    Kernel::boot(&tree, &Options::distro()).unwrap()
+}
+
+#[test]
+fn shift_counts_mask_like_hardware() {
+    let mut k = boot("int f(int a, int n) { return a << n; }\nint g(int a, int n) { return a >> n; }");
+    // Shift counts are masked to 6 bits, like x86-64.
+    assert_eq!(k.call_function("f", &[1, 64]).unwrap(), 1);
+    assert_eq!(k.call_function("f", &[1, 65]).unwrap(), 2);
+    assert_eq!(k.call_function("g", &[8, 3]).unwrap(), 1);
+}
+
+#[test]
+fn negative_division_truncates_toward_zero() {
+    let mut k =
+        boot("int d(int a, int b) { return a / b; }\nint m(int a, int b) { return a % b; }");
+    assert_eq!(k.call_function("d", &[(-7i64) as u64, 2]).unwrap() as i64, -3);
+    assert_eq!(k.call_function("m", &[(-7i64) as u64, 2]).unwrap() as i64, -1);
+}
+
+#[test]
+fn indirect_call_to_garbage_oopses_not_panics() {
+    let mut k = boot("int f(int p) { int g; g = p; return g(1); }");
+    let err = k.call_function("f", &[0x1234]).unwrap_err();
+    assert!(err.to_string().contains("oops"), "{err}");
+    // Indirect call into a data region is a W^X violation.
+    let data = k
+        .mem
+        .alloc_region("trap", 64, 16, Perms::DATA)
+        .unwrap();
+    let err = k.call_function("f", &[data]).unwrap_err();
+    assert!(err.to_string().contains("non-executable"), "{err}");
+}
+
+#[test]
+fn jump_into_unmapped_space_oopses() {
+    let mut k = boot("int f(int p) { int g; g = p; return g(); }");
+    assert!(k.call_function("f", &[0xdead_0000]).is_err());
+    assert!(k.oopses.len() == 1);
+}
+
+#[test]
+fn stack_recycling_supports_many_short_calls() {
+    let mut k = boot("int f(int x) { return x * 2; }");
+    // Far more calls than the arena could hold un-recycled stacks for.
+    for i in 0..5_000u64 {
+        assert_eq!(k.call_function("f", &[i]).unwrap(), i * 2);
+    }
+}
+
+#[test]
+fn reap_dead_collects_finished_threads() {
+    let mut k = boot("int f() { return 0; }");
+    for _ in 0..5 {
+        k.spawn("f", &[]).unwrap();
+    }
+    k.run(100_000);
+    assert_eq!(k.threads.len(), 5);
+    assert_eq!(k.reap_dead(), 5);
+    assert!(k.threads.is_empty());
+}
+
+#[test]
+fn rmmod_unmaps_module_memory() {
+    let mut k = boot("int f() { return 1; }");
+    let obj = ksplice_lang::compile_unit(
+        "mod.kc",
+        "int mod_entry() { return 42; }",
+        &Options::pre_post(),
+    )
+    .unwrap();
+    let m = k.insmod(&obj, false).unwrap();
+    let entry = m.symbol_addr("mod_entry").unwrap();
+    assert_eq!(k.call_at(entry, &[]).unwrap(), 42);
+    assert!(k.rmmod(&m.name));
+    // Calling into the unloaded module now faults.
+    assert!(k.call_at(entry, &[]).is_err());
+    assert!(!k.rmmod(&m.name), "double rmmod reports failure");
+    // Its kallsyms entries are gone.
+    assert!(k.syms.lookup_name("mod_entry").is_empty());
+}

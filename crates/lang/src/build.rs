@@ -1,0 +1,345 @@
+//! The build driver — `kbuild` for `kc` trees.
+//!
+//! A [`SourceTree`] is a whole kernel's source: headers under `include/`
+//! (shared struct definitions and typed global declarations), `.kc` C
+//! units and `.ks` assembly units. [`build_tree`] compiles every unit
+//! deterministically and returns the build's [`ObjectSet`] — the artifact
+//! `ksplice-create` produces twice (pre and post) and diffs (paper §3.2,
+//! Figure 1).
+
+use std::collections::BTreeMap;
+
+use ksplice_object::{Object, ObjectSet};
+
+use crate::asmfile::assemble_unit;
+use crate::ast::Unit;
+use crate::codegen::gen_unit;
+use crate::fold::fold_unit;
+use crate::inline::inline_unit;
+use crate::parser::parse_unit;
+use crate::sema::{check_unit_with, HeaderContext};
+use crate::{CompileError, Options};
+
+/// An in-memory kernel source tree, keyed by path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceTree {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceTree {
+    /// An empty tree.
+    pub fn new() -> SourceTree {
+        SourceTree::default()
+    }
+
+    /// Adds or replaces a file.
+    pub fn insert(&mut self, path: &str, contents: &str) {
+        self.files.insert(path.to_string(), contents.to_string());
+    }
+
+    /// Reads a file.
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(|s| s.as_str())
+    }
+
+    /// Replaces a file's contents, returning false if absent.
+    pub fn set(&mut self, path: &str, contents: String) -> bool {
+        match self.files.get_mut(path) {
+            Some(slot) => {
+                *slot = contents;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a file.
+    pub fn remove(&mut self, path: &str) -> Option<String> {
+        self.files.remove(path)
+    }
+
+    /// Iterates `(path, contents)` in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// All paths, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(|k| k.as_str())
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the tree has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// True if `path` is a header (`include/…`, `.kh`).
+    pub fn is_header(path: &str) -> bool {
+        path.ends_with(".kh")
+    }
+}
+
+impl FromIterator<(String, String)> for SourceTree {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> SourceTree {
+        SourceTree {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Compiles a single `.kc` unit with no shared headers.
+pub fn compile_unit(name: &str, src: &str, opt: &Options) -> Result<Object, CompileError> {
+    compile_unit_with(name, src, opt, &HeaderContext::default())
+}
+
+/// Compiles a single `.kc` unit against header declarations.
+pub fn compile_unit_with(
+    name: &str,
+    src: &str,
+    opt: &Options,
+    headers: &HeaderContext,
+) -> Result<Object, CompileError> {
+    let unit = parse_unit(name, src)?;
+    compile_parsed(unit, opt, headers)
+}
+
+fn compile_parsed(
+    mut unit: Unit,
+    opt: &Options,
+    headers: &HeaderContext,
+) -> Result<Object, CompileError> {
+    let sema = check_unit_with(&unit, headers)?;
+    if opt.opt_level >= 1 {
+        fold_unit(&mut unit, &sema);
+        inline_unit(&mut unit, opt);
+    }
+    // Re-derive name tables after inlining may have dropped functions.
+    let sema = check_unit_with(&unit, headers)?;
+    gen_unit(&unit, &sema, opt)
+}
+
+/// Builds every unit of a tree, returning one object per `.kc`/`.ks`
+/// file.
+pub fn build_tree(tree: &SourceTree, opt: &Options) -> Result<ObjectSet, CompileError> {
+    let headers = parse_headers(tree)?;
+    let mut set = ObjectSet::new();
+    for (path, src) in tree.iter() {
+        if SourceTree::is_header(path) {
+            continue;
+        }
+        let obj = if path.ends_with(".ks") {
+            assemble_unit(path, src, opt)?
+        } else if path.ends_with(".kc") {
+            compile_unit_with(path, src, opt, &headers)?
+        } else {
+            continue; // READMEs, configs, etc.
+        };
+        set.insert(obj);
+    }
+    Ok(set)
+}
+
+/// Computes, per compilation unit, which functions the optimiser inlines
+/// where under the given options — the measurement behind the paper's
+/// §6.3 inlining statistics (20 of 64 patches modify an inlined function;
+/// only 4 say `inline`).
+pub fn tree_inline_report(
+    tree: &SourceTree,
+    opt: &Options,
+) -> Result<std::collections::BTreeMap<String, crate::inline::InlineReport>, CompileError> {
+    let headers = parse_headers(tree)?;
+    let mut out = std::collections::BTreeMap::new();
+    for (path, src) in tree.iter() {
+        if SourceTree::is_header(path) || !path.ends_with(".kc") {
+            continue;
+        }
+        let mut unit = parse_unit(path, src)?;
+        let sema = check_unit_with(&unit, &headers)?;
+        if opt.opt_level >= 1 {
+            fold_unit(&mut unit, &sema);
+        }
+        out.insert(path.to_string(), crate::inline::inline_report(&unit, opt));
+    }
+    Ok(out)
+}
+
+/// Parses a tree and returns each unit's function definitions (name,
+/// `inline`-declared flag), for corpus statistics.
+pub fn tree_function_index(
+    tree: &SourceTree,
+) -> Result<std::collections::BTreeMap<String, Vec<(String, bool)>>, CompileError> {
+    let mut out = std::collections::BTreeMap::new();
+    for (path, src) in tree.iter() {
+        if SourceTree::is_header(path) || !path.ends_with(".kc") {
+            continue;
+        }
+        let unit = parse_unit(path, src)?;
+        out.insert(
+            path.to_string(),
+            unit.functions()
+                .map(|f| (f.name.clone(), f.is_inline))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Parses the tree's headers into a shared [`HeaderContext`].
+pub fn parse_headers(tree: &SourceTree) -> Result<HeaderContext, CompileError> {
+    let mut units = Vec::new();
+    for (path, src) in tree.iter() {
+        if SourceTree::is_header(path) {
+            units.push(parse_unit(path, src)?);
+        }
+    }
+    HeaderContext::from_units(&units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut tree = SourceTree::new();
+        tree.insert(
+            "include/sched.kh",
+            "struct task { int pid; struct task *next; };",
+        );
+        tree.insert(
+            "kernel/sched.kc",
+            "struct task *runqueue;\
+             int pick_next() { if (runqueue) { return runqueue->pid; } return 0; }",
+        );
+        tree.insert(
+            "kernel/sys.kc",
+            "int uptime;\
+             int sys_uptime() { return uptime; }",
+        );
+        let a = build_tree(&tree, &Options::distro()).unwrap();
+        let b = build_tree(&tree, &Options::distro()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn function_sections_gives_per_function_text() {
+        let mut tree = SourceTree::new();
+        tree.insert(
+            "fs/open.kc",
+            "int a() { return 1; } int b() { return a() + 1; }",
+        );
+        let set = build_tree(&tree, &Options::pre_post()).unwrap();
+        let obj = set.get("fs/open.kc").unwrap();
+        assert!(obj.section_by_name(".text.a").is_some());
+        assert!(obj.section_by_name(".text.b").is_some());
+        assert!(obj.section_by_name(".text").is_none());
+    }
+
+    #[test]
+    fn monolithic_build_gives_single_text() {
+        let mut tree = SourceTree::new();
+        tree.insert(
+            "fs/open.kc",
+            "int a(int x) { if (x > 3) { return 1; } return 2; } int b() { return a(9) + 1; }",
+        );
+        let set = build_tree(&tree, &Options::distro()).unwrap();
+        let obj = set.get("fs/open.kc").unwrap();
+        assert!(obj.section_by_name(".text").is_some());
+        assert!(obj.section_by_name(".text.a").is_none());
+        // Both function symbols exist within .text.
+        assert!(obj.symbol_by_name("a").is_some());
+        assert!(obj.symbol_by_name("b").is_some());
+    }
+
+    #[test]
+    fn one_line_change_shifts_monolithic_text() {
+        // The §3.1 phenomenon: changing one function perturbs bytes across
+        // the unit's single .text (relative jumps, label offsets).
+        let base = "int f(int x) { if (x) { return 1; } return 2; }\
+                    int g(int y) { return f(y) + f(y + 1); }";
+        let patched = "int f(int x) { if (x) { if (x > 2) { return 3; } return 1; } return 2; }\
+                       int g(int y) { return f(y) + f(y + 1); }";
+        let mut t1 = SourceTree::new();
+        t1.insert("m.kc", base);
+        let mut t2 = SourceTree::new();
+        t2.insert("m.kc", patched);
+        let o1 = build_tree(&t1, &Options::distro()).unwrap();
+        let o2 = build_tree(&t2, &Options::distro()).unwrap();
+        let s1 = &o1
+            .get("m.kc")
+            .unwrap()
+            .section_by_name(".text")
+            .unwrap()
+            .1
+            .data;
+        let s2 = &o2
+            .get("m.kc")
+            .unwrap()
+            .section_by_name(".text")
+            .unwrap()
+            .1
+            .data;
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn unchanged_function_sections_identical_across_patch() {
+        // With -ffunction-sections, a patch to f leaves g's section bytes
+        // and relocations identical (paper §3.2).
+        let base = "int f(int x) { return x + 1; }\
+                    int g(int y) { return helper(y); }";
+        let patched = "int f(int x) { return x + 2; }\
+                       int g(int y) { return helper(y); }";
+        let o1 = compile_unit("m.kc", base, &Options::pre_post()).unwrap();
+        let o2 = compile_unit("m.kc", patched, &Options::pre_post()).unwrap();
+        let g1 = o1.section_by_name(".text.g").unwrap().1;
+        let g2 = o2.section_by_name(".text.g").unwrap().1;
+        assert_eq!(g1.data, g2.data);
+        assert_eq!(g1.relocs, g2.relocs);
+        let f1 = o1.section_by_name(".text.f").unwrap().1;
+        let f2 = o2.section_by_name(".text.f").unwrap().1;
+        assert_ne!(f1.data, f2.data);
+    }
+
+    #[test]
+    fn compiler_version_changes_bytes() {
+        let src = "int f(int a, int b) { return a * b + 3; }";
+        let v1 = compile_unit(
+            "m.kc",
+            src,
+            &Options {
+                cc_version: 1,
+                ..Options::pre_post()
+            },
+        )
+        .unwrap();
+        let v2 = compile_unit(
+            "m.kc",
+            src,
+            &Options {
+                cc_version: 2,
+                ..Options::pre_post()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            v1.section_by_name(".text.f").unwrap().1.data,
+            v2.section_by_name(".text.f").unwrap().1.data
+        );
+    }
+
+    #[test]
+    fn non_source_files_ignored() {
+        let mut tree = SourceTree::new();
+        tree.insert("README", "not code");
+        tree.insert("m.kc", "int f() { return 0; }");
+        let set = build_tree(&tree, &Options::distro()).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+}

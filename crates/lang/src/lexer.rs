@@ -1,0 +1,328 @@
+//! The `kc` lexer.
+
+use crate::token::{Token, TokenKind};
+use crate::CompileError;
+
+/// Tokenises a compilation unit.
+///
+/// `//` and `/* */` comments are skipped. Lines beginning with `#`
+/// (preprocessor-style, e.g. `#include "ksplice-patch.h"`) are accepted
+/// and ignored so that patches written against kernel conventions lex
+/// unchanged.
+pub fn lex(unit: &str, src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |line: u32, msg: String| CompileError::new(unit, line, msg);
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                // Preprocessor-style line: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(err(start_line, "unterminated string literal".into()))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or_else(|| err(start_line, "dangling escape".into()))?;
+                            s.push(match esc {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'0' => 0,
+                                b'\\' => b'\\',
+                                b'"' => b'"',
+                                other => {
+                                    return Err(err(
+                                        start_line,
+                                        format!("unknown escape \\{}", *other as char),
+                                    ))
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Character literal → integer token.
+                let start_line = line;
+                let (val, consumed) = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(b'\\'), Some(esc)) => {
+                        let v = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => {
+                                return Err(err(
+                                    start_line,
+                                    format!("unknown escape \\{}", *other as char),
+                                ))
+                            }
+                        };
+                        (v as i64, 4)
+                    }
+                    (Some(&ch), _) if ch != b'\'' => (ch as i64, 3),
+                    _ => return Err(err(start_line, "empty character literal".into())),
+                };
+                if bytes.get(i + consumed - 1) != Some(&b'\'') {
+                    return Err(err(start_line, "unterminated character literal".into()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(val),
+                    line: start_line,
+                });
+                i += consumed;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut radix = 10;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    radix = 16;
+                    i += 2;
+                }
+                let digits_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_hexdigit() && radix == 16
+                        || bytes[i].is_ascii_digit() && radix == 10)
+                {
+                    i += 1;
+                }
+                let text = &src[digits_start..i];
+                let text = if radix == 16 { text } else { &src[start..i] };
+                let value = i64::from_str_radix(text, radix)
+                    .map_err(|_| err(line, format!("invalid integer literal `{text}`")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::ident_or_keyword(&src[start..i]),
+                    line,
+                });
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (kind, width) = if two(b'-', b'>') {
+                    (TokenKind::Arrow, 2)
+                } else if two(b'<', b'<') {
+                    (TokenKind::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (TokenKind::Shr, 2)
+                } else if two(b'=', b'=') {
+                    (TokenKind::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (TokenKind::NotEq, 2)
+                } else if two(b'<', b'=') {
+                    (TokenKind::Le, 2)
+                } else if two(b'>', b'=') {
+                    (TokenKind::Ge, 2)
+                } else if two(b'&', b'&') {
+                    (TokenKind::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (TokenKind::OrOr, 2)
+                } else {
+                    let k = match c {
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'[' => TokenKind::LBracket,
+                        b']' => TokenKind::RBracket,
+                        b';' => TokenKind::Semi,
+                        b',' => TokenKind::Comma,
+                        b'.' => TokenKind::Dot,
+                        b'=' => TokenKind::Assign,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'%' => TokenKind::Percent,
+                        b'&' => TokenKind::Amp,
+                        b'|' => TokenKind::Pipe,
+                        b'^' => TokenKind::Caret,
+                        b'~' => TokenKind::Tilde,
+                        b'!' => TokenKind::Bang,
+                        b'<' => TokenKind::Lt,
+                        b'>' => TokenKind::Gt,
+                        other => {
+                            return Err(err(
+                                line,
+                                format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    };
+                    (k, 1)
+                };
+                tokens.push(Token { kind, line });
+                i += width;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex("t.kc", src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("static int x;"),
+            vec![
+                TokenKind::KwStatic,
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 0x1f"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(0x1f),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a->b << c >= d && e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shl,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("d".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let src = "#include \"ksplice-patch.h\"\n// line\nint /* block\nspanning */ x;";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            kinds(r#""hi\n" 'A' '\n'"#),
+            vec![
+                TokenKind::Str(b"hi\n".to_vec()),
+                TokenKind::Int(65),
+                TokenKind::Int(10),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("t.kc", "int\nx\n;\n").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("t.kc", "\"unterminated").is_err());
+        assert!(lex("t.kc", "/* unterminated").is_err());
+        assert!(lex("t.kc", "`").is_err());
+        assert!(lex("t.kc", "''").is_err());
+    }
+}

@@ -1,0 +1,953 @@
+//! Semantic analysis: struct layouts, name resolution, type checking.
+//!
+//! `kc` follows kernel C's weak scalar discipline — `int` and pointers
+//! convert freely — but structural properties are checked strictly:
+//! struct layouts are computed (and by-value recursion rejected), field
+//! accesses must name real fields, lvalues are required where addresses
+//! or assignments need them, and global initialisers must be
+//! link-time constants.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::ast::*;
+use crate::CompileError;
+
+/// Word size in bytes: every scalar occupies one 64-bit word.
+pub const WORD: u64 = 8;
+
+/// A computed struct layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Total size including tail padding.
+    pub size: u64,
+    /// Alignment of the whole struct.
+    pub align: u64,
+    /// `(name, byte offset, type)` per field, in declaration order.
+    pub fields: Vec<(String, u64, Type)>,
+}
+
+impl StructLayout {
+    /// Finds a field by name.
+    pub fn field(&self, name: &str) -> Option<(u64, &Type)> {
+        self.fields
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, off, ty)| (*off, ty))
+    }
+}
+
+/// A link-time constant value, the result of const-evaluating a global
+/// initialiser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstVal {
+    /// A plain integer.
+    Int(i64),
+    /// The address of a symbol plus a byte offset (needs a relocation).
+    SymAddr(String, i64),
+    /// A string literal (emitted to `.rodata`, needs a relocation).
+    Str(Vec<u8>),
+}
+
+/// Semantic summary of a compilation unit, consumed by code generation.
+#[derive(Debug, Clone)]
+pub struct Sema {
+    /// Unit path (for error messages).
+    pub unit: String,
+    /// All visible struct layouts (headers + unit).
+    pub structs: BTreeMap<String, StructLayout>,
+    /// Functions defined in this unit, with arity.
+    pub functions: BTreeMap<String, usize>,
+    /// Globals defined in this unit.
+    pub globals: BTreeMap<String, Type>,
+    /// Globals declared by headers (typed externals, no storage here).
+    pub header_globals: BTreeMap<String, Type>,
+    /// Names declared `extern` in this unit.
+    pub externs: HashSet<String>,
+    /// The subset of `externs` declared with a parameter list (functions).
+    pub extern_funcs: HashSet<String>,
+}
+
+impl Sema {
+    /// The size in bytes of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown struct name; [`check_unit`] guarantees all
+    /// mentioned structs have layouts.
+    pub fn size_of(&self, ty: &Type) -> u64 {
+        match ty {
+            Type::Int | Type::Ptr(_) => WORD,
+            Type::Byte => 1,
+            Type::Struct(name) => {
+                self.structs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("unknown struct `{name}` after checking"))
+                    .size
+            }
+            Type::Array(elem, n) => self.size_of(elem) * n,
+        }
+    }
+
+    /// Looks up a struct layout.
+    pub fn layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.get(name)
+    }
+
+    /// Field offset and type within a named struct.
+    pub fn field(&self, sname: &str, fname: &str) -> Option<(u64, &Type)> {
+        self.structs.get(sname)?.field(fname)
+    }
+
+    /// The type of a named global visible in this unit (unit definitions
+    /// shadow header declarations).
+    pub fn global_type(&self, name: &str) -> Option<&Type> {
+        self.globals
+            .get(name)
+            .or_else(|| self.header_globals.get(name))
+    }
+}
+
+/// Shared declarations parsed from `include/*.kh` headers.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderContext {
+    pub structs: Vec<StructDef>,
+    pub globals: Vec<(String, Type)>,
+}
+
+impl HeaderContext {
+    /// Builds a header context from parsed header units.
+    ///
+    /// Headers may contain struct definitions and uninitialised global
+    /// declarations (which act as typed externals); anything else is
+    /// rejected.
+    pub fn from_units(units: &[Unit]) -> Result<HeaderContext, CompileError> {
+        let mut ctx = HeaderContext::default();
+        for u in units {
+            for item in &u.items {
+                match item {
+                    FileItem::Struct(s) => ctx.structs.push(s.clone()),
+                    FileItem::Global(g) => {
+                        if g.init.is_some() {
+                            return Err(CompileError::new(
+                                &u.name,
+                                g.line,
+                                "headers may not initialise globals",
+                            ));
+                        }
+                        ctx.globals.push((g.name.clone(), g.ty.clone()));
+                    }
+                    FileItem::Extern { .. } => {}
+                    FileItem::Func(f) => {
+                        return Err(CompileError::new(
+                            &u.name,
+                            f.line,
+                            "headers may not define functions",
+                        ))
+                    }
+                    FileItem::Hook { line, .. } => {
+                        return Err(CompileError::new(
+                            &u.name,
+                            *line,
+                            "headers may not register hooks",
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(ctx)
+    }
+}
+
+/// Checks a unit and produces its semantic summary.
+pub fn check_unit(unit: &Unit) -> Result<Sema, CompileError> {
+    check_unit_with(unit, &HeaderContext::default())
+}
+
+/// Checks a unit against shared header declarations.
+pub fn check_unit_with(unit: &Unit, headers: &HeaderContext) -> Result<Sema, CompileError> {
+    let mut checker = Checker::new(unit, headers)?;
+    checker.run(unit)?;
+    Ok(checker.sema)
+}
+
+struct Checker {
+    sema: Sema,
+}
+
+impl Checker {
+    fn new(unit: &Unit, headers: &HeaderContext) -> Result<Checker, CompileError> {
+        let uname = unit.name.clone();
+        // Collect struct definitions: headers first, then the unit's own.
+        let mut defs: BTreeMap<String, StructDef> = BTreeMap::new();
+        for s in headers.structs.iter().chain(unit.structs()) {
+            if defs.insert(s.name.clone(), s.clone()).is_some() {
+                return Err(CompileError::new(
+                    &uname,
+                    s.line,
+                    format!("duplicate definition of struct `{}`", s.name),
+                ));
+            }
+        }
+        // Compute layouts with cycle detection.
+        let mut structs = BTreeMap::new();
+        for name in defs.keys().cloned().collect::<Vec<_>>() {
+            let mut visiting = HashSet::new();
+            layout_of(&uname, &defs, &mut structs, &mut visiting, &name)?;
+        }
+        let mut sema = Sema {
+            unit: uname.clone(),
+            structs,
+            functions: BTreeMap::new(),
+            globals: BTreeMap::new(),
+            header_globals: headers.globals.iter().cloned().collect(),
+            externs: HashSet::new(),
+            extern_funcs: HashSet::new(),
+        };
+        // Collect unit-level names.
+        for item in &unit.items {
+            match item {
+                FileItem::Func(f) => {
+                    if sema
+                        .functions
+                        .insert(f.name.clone(), f.params.len())
+                        .is_some()
+                    {
+                        return Err(CompileError::new(
+                            &uname,
+                            f.line,
+                            format!("duplicate function `{}`", f.name),
+                        ));
+                    }
+                }
+                FileItem::Global(g) => {
+                    if sema.globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+                        return Err(CompileError::new(
+                            &uname,
+                            g.line,
+                            format!("duplicate global `{}`", g.name),
+                        ));
+                    }
+                }
+                FileItem::Extern { name, is_func, .. } => {
+                    sema.externs.insert(name.clone());
+                    if *is_func {
+                        sema.extern_funcs.insert(name.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(Checker { sema })
+    }
+
+    fn run(&mut self, unit: &Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            match item {
+                FileItem::Global(g) => self.check_global(g)?,
+                FileItem::Func(f) => self.check_function(f)?,
+                FileItem::Hook { func, line, .. } => {
+                    if !self.sema.functions.contains_key(func) {
+                        return Err(
+                            self.err(*line, format!("hook references unknown function `{func}`"))
+                        );
+                    }
+                }
+                FileItem::Struct(_) | FileItem::Extern { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn err(&self, line: u32, message: impl Into<String>) -> CompileError {
+        CompileError::new(&self.sema.unit, line, message)
+    }
+
+    fn check_type(&self, ty: &Type, line: u32) -> Result<(), CompileError> {
+        match ty {
+            Type::Int | Type::Byte => Ok(()),
+            Type::Ptr(t) => self.check_type(t, line),
+            Type::Struct(name) => {
+                if self.sema.structs.contains_key(name) {
+                    Ok(())
+                } else {
+                    Err(self.err(line, format!("unknown struct `{name}`")))
+                }
+            }
+            Type::Array(t, _) => self.check_type(t, line),
+        }
+    }
+
+    fn check_global(&self, g: &Global) -> Result<(), CompileError> {
+        self.check_type(&g.ty, g.line)?;
+        // A unit definition may repeat a header declaration only at the
+        // same type.
+        if let Some(hty) = self.sema.header_globals.get(&g.name) {
+            if *hty != g.ty {
+                return Err(self.err(
+                    g.line,
+                    format!("global `{}` conflicts with header declaration", g.name),
+                ));
+            }
+        }
+        match &g.init {
+            None => Ok(()),
+            Some(Init::Scalar(e)) => {
+                let byte_array = matches!(&g.ty, Type::Array(elem, _) if **elem == Type::Byte);
+                if !g.ty.is_scalar() && !byte_array {
+                    return Err(self.err(g.line, "scalar initialiser on aggregate global"));
+                }
+                let v = self.require_const(e)?;
+                if byte_array && !matches!(v, ConstVal::Str(_)) {
+                    return Err(self.err(g.line, "byte array initialiser must be a string"));
+                }
+                Ok(())
+            }
+            Some(Init::List(items)) => {
+                let max = match &g.ty {
+                    Type::Array(_, n) => *n,
+                    Type::Struct(name) => self.sema.structs[name].fields.len() as u64,
+                    _ => return Err(self.err(g.line, "list initialiser on scalar global")),
+                };
+                if items.len() as u64 > max {
+                    return Err(self.err(g.line, "too many initialisers"));
+                }
+                for e in items {
+                    self.require_const(e)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn require_const(&self, e: &Expr) -> Result<ConstVal, CompileError> {
+        self.const_eval(e)
+            .ok_or_else(|| self.err(e.line, "initialiser is not a link-time constant"))
+    }
+
+    /// Evaluates a link-time constant expression, if it is one.
+    pub(crate) fn const_eval(&self, e: &Expr) -> Option<ConstVal> {
+        const_eval_with(e, &|name| {
+            if self.sema.functions.contains_key(name)
+                || self.sema.global_type(name).is_some()
+                || self.sema.externs.contains(name)
+            {
+                Some(())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn check_function(&self, f: &Function) -> Result<(), CompileError> {
+        let mut scopes = Scopes::new();
+        scopes.push();
+        for (name, ty) in &f.params {
+            self.check_type(ty, f.line)?;
+            if !scopes.declare(name, ty.clone()) {
+                return Err(self.err(f.line, format!("duplicate parameter `{name}`")));
+            }
+        }
+        self.check_block(&f.body, &mut scopes, 0)?;
+        scopes.pop();
+        Ok(())
+    }
+
+    fn check_block(
+        &self,
+        body: &[Stmt],
+        scopes: &mut Scopes,
+        loop_depth: u32,
+    ) -> Result<(), CompileError> {
+        scopes.push();
+        for s in body {
+            self.check_stmt(s, scopes, loop_depth)?;
+        }
+        scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        scopes: &mut Scopes,
+        loop_depth: u32,
+    ) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::Decl {
+                name,
+                ty,
+                is_static,
+                init,
+            } => {
+                self.check_type(ty, s.line)?;
+                if let Some(e) = init {
+                    if *is_static {
+                        // Static locals need link-time-constant inits.
+                        self.require_const(e)?;
+                    } else {
+                        let t = self.type_of(e, scopes)?;
+                        self.require_scalar(&t, e.line)?;
+                    }
+                    if !ty.is_scalar() {
+                        return Err(self.err(s.line, "initialiser on aggregate local"));
+                    }
+                }
+                if !scopes.declare(name, ty.clone()) {
+                    return Err(self.err(s.line, format!("duplicate local `{name}`")));
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.type_of(e, scopes)?;
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                if !is_lvalue(target) {
+                    return Err(self.err(s.line, "assignment target is not an lvalue"));
+                }
+                let tt = self.type_of(target, scopes)?;
+                self.require_scalar(&tt, target.line)?;
+                let vt = self.type_of(value, scopes)?;
+                self.require_scalar(&vt, value.line)?;
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = self.type_of(cond, scopes)?;
+                self.require_scalar(&t, cond.line)?;
+                self.check_block(then_body, scopes, loop_depth)?;
+                self.check_block(else_body, scopes, loop_depth)
+            }
+            StmtKind::While { cond, body } => {
+                let t = self.type_of(cond, scopes)?;
+                self.require_scalar(&t, cond.line)?;
+                self.check_block(body, scopes, loop_depth + 1)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                scopes.push();
+                if let Some(i) = init {
+                    self.check_stmt(i, scopes, loop_depth)?;
+                }
+                if let Some(c) = cond {
+                    let t = self.type_of(c, scopes)?;
+                    self.require_scalar(&t, c.line)?;
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st, scopes, loop_depth)?;
+                }
+                self.check_block(body, scopes, loop_depth + 1)?;
+                scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    let t = self.type_of(e, scopes)?;
+                    self.require_scalar(&t, e.line)?;
+                }
+                Ok(())
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if loop_depth == 0 {
+                    Err(self.err(s.line, "break/continue outside a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Block(body) => self.check_block(body, scopes, loop_depth),
+        }
+    }
+
+    fn require_scalar(&self, t: &Type, line: u32) -> Result<(), CompileError> {
+        // Arrays decay to pointers when used as values.
+        if t.is_scalar() || matches!(t, Type::Array(..)) {
+            Ok(())
+        } else {
+            Err(self.err(line, format!("expected a scalar value, found {t:?}")))
+        }
+    }
+
+    /// Types an expression. Weak typing: `int` and pointers interconvert;
+    /// `byte` reads widen to `int`.
+    fn type_of(&self, e: &Expr, scopes: &Scopes) -> Result<Type, CompileError> {
+        match &e.kind {
+            ExprKind::Num(_) => Ok(Type::Int),
+            ExprKind::Str(_) => Ok(Type::ptr(Type::Byte)),
+            ExprKind::Sizeof(ty) => {
+                self.check_type(ty, e.line)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Ident(name) => {
+                if let Some(t) = scopes.lookup(name) {
+                    return Ok(t.clone());
+                }
+                if let Some(t) = self.sema.global_type(name) {
+                    return Ok(t.clone());
+                }
+                if self.sema.functions.contains_key(name) || self.sema.externs.contains(name) {
+                    // Function designators and declared externals are
+                    // address-valued.
+                    return Ok(Type::Int);
+                }
+                // Implicit external (C89-style): an int-shaped symbol.
+                Ok(Type::Int)
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.type_of(inner, scopes)?;
+                match op {
+                    UnaryOp::Neg | UnaryOp::BitNot | UnaryOp::LNot => {
+                        self.require_scalar(&t, inner.line)?;
+                        Ok(Type::Int)
+                    }
+                    UnaryOp::Deref => match t {
+                        Type::Ptr(elem) => Ok(*elem),
+                        // Deref of a plain int: word pointer semantics.
+                        Type::Int => Ok(Type::Int),
+                        other => Err(self.err(
+                            inner.line,
+                            format!("cannot dereference a value of type {other:?}"),
+                        )),
+                    },
+                    UnaryOp::Addr => {
+                        if !is_lvalue(inner) {
+                            // Taking a function's address is allowed.
+                            if let ExprKind::Ident(n) = &inner.kind {
+                                if self.sema.functions.contains_key(n)
+                                    || self.sema.externs.contains(n)
+                                {
+                                    return Ok(Type::Int);
+                                }
+                            }
+                            return Err(self.err(inner.line, "cannot take address of rvalue"));
+                        }
+                        Ok(Type::ptr(t))
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lt = self.type_of(l, scopes)?;
+                let rt = self.type_of(r, scopes)?;
+                // Arrays decay to pointers in arithmetic.
+                let lt = decay(lt);
+                let rt = decay(rt);
+                self.require_scalar(&lt, l.line)?;
+                self.require_scalar(&rt, r.line)?;
+                match op {
+                    BinaryOp::Add | BinaryOp::Sub => {
+                        if let Type::Ptr(_) = lt {
+                            Ok(lt)
+                        } else if let Type::Ptr(_) = rt {
+                            Ok(rt)
+                        } else {
+                            Ok(Type::Int)
+                        }
+                    }
+                    _ => Ok(Type::Int),
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                // Direct calls: an identifier that is not a local variable.
+                if let ExprKind::Ident(name) = &callee.kind {
+                    if scopes.lookup(name).is_none() {
+                        if let Some(&arity) = self.sema.functions.get(name) {
+                            if arity != args.len() {
+                                return Err(self.err(
+                                    e.line,
+                                    format!(
+                                        "`{name}` takes {arity} argument(s), {} given",
+                                        args.len()
+                                    ),
+                                ));
+                            }
+                        }
+                        for a in args {
+                            let t = self.type_of(a, scopes)?;
+                            self.require_scalar(&decay(t), a.line)?;
+                        }
+                        if args.len() > 6 {
+                            return Err(self.err(e.line, "calls support at most 6 arguments"));
+                        }
+                        return Ok(Type::Int);
+                    }
+                }
+                // Indirect call through a scalar value.
+                let ct = self.type_of(callee, scopes)?;
+                self.require_scalar(&decay(ct), callee.line)?;
+                if args.len() > 6 {
+                    return Err(self.err(e.line, "calls support at most 6 arguments"));
+                }
+                for a in args {
+                    let t = self.type_of(a, scopes)?;
+                    self.require_scalar(&decay(t), a.line)?;
+                }
+                Ok(Type::Int)
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.type_of(base, scopes)?;
+                let it = self.type_of(idx, scopes)?;
+                self.require_scalar(&it, idx.line)?;
+                match bt {
+                    Type::Array(elem, _) | Type::Ptr(elem) => Ok(*elem),
+                    Type::Int => Ok(Type::Int),
+                    other => {
+                        Err(self.err(base.line, format!("cannot index a value of type {other:?}")))
+                    }
+                }
+            }
+            ExprKind::Field(base, fname) => {
+                let bt = self.type_of(base, scopes)?;
+                let Type::Struct(sname) = bt else {
+                    return Err(self.err(base.line, "`.` requires a struct value"));
+                };
+                self.field_type(&sname, fname, e.line)
+            }
+            ExprKind::PField(base, fname) => {
+                let bt = self.type_of(base, scopes)?;
+                let Type::Ptr(inner) = decay(bt) else {
+                    return Err(self.err(base.line, "`->` requires a struct pointer"));
+                };
+                let Type::Struct(sname) = *inner else {
+                    return Err(self.err(base.line, "`->` requires a struct pointer"));
+                };
+                self.field_type(&sname, fname, e.line)
+            }
+        }
+    }
+
+    fn field_type(&self, sname: &str, fname: &str, line: u32) -> Result<Type, CompileError> {
+        self.sema
+            .field(sname, fname)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| self.err(line, format!("struct `{sname}` has no field `{fname}`")))
+    }
+}
+
+/// Arrays decay to pointers when used as values.
+fn decay(t: Type) -> Type {
+    match t {
+        Type::Array(elem, _) => Type::Ptr(elem),
+        other => other,
+    }
+}
+
+/// Lvalue syntax: names, derefs, indexing and field chains.
+pub(crate) fn is_lvalue(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Ident(_)
+            | ExprKind::Unary(UnaryOp::Deref, _)
+            | ExprKind::Index(..)
+            | ExprKind::Field(..)
+            | ExprKind::PField(..)
+    )
+}
+
+/// Const-evaluates `e`; `known_symbol` reports whether a name is a symbol
+/// whose address may be taken at link time.
+pub(crate) fn const_eval_with(
+    e: &Expr,
+    known_symbol: &dyn Fn(&str) -> Option<()>,
+) -> Option<ConstVal> {
+    match &e.kind {
+        ExprKind::Num(v) => Some(ConstVal::Int(*v)),
+        ExprKind::Str(s) => Some(ConstVal::Str(s.clone())),
+        ExprKind::Ident(name) => {
+            // A bare function / global name in a const context denotes its
+            // address (function pointers in ops tables).
+            known_symbol(name).map(|_| ConstVal::SymAddr(name.clone(), 0))
+        }
+        ExprKind::Unary(UnaryOp::Addr, inner) => match &inner.kind {
+            ExprKind::Ident(name) => known_symbol(name).map(|_| ConstVal::SymAddr(name.clone(), 0)),
+            _ => None,
+        },
+        ExprKind::Unary(op, inner) => {
+            let v = const_eval_with(inner, known_symbol)?;
+            let ConstVal::Int(v) = v else { return None };
+            Some(ConstVal::Int(match op {
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::BitNot => !v,
+                UnaryOp::LNot => (v == 0) as i64,
+                _ => return None,
+            }))
+        }
+        ExprKind::Binary(op, l, r) => {
+            let lv = const_eval_with(l, known_symbol)?;
+            let rv = const_eval_with(r, known_symbol)?;
+            match (lv, rv) {
+                (ConstVal::Int(a), ConstVal::Int(b)) => eval_binop(*op, a, b).map(ConstVal::Int),
+                (ConstVal::SymAddr(s, off), ConstVal::Int(b)) => match op {
+                    BinaryOp::Add => Some(ConstVal::SymAddr(s, off.wrapping_add(b))),
+                    BinaryOp::Sub => Some(ConstVal::SymAddr(s, off.wrapping_sub(b))),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        ExprKind::Sizeof(_) => None, // sizeof needs layout context; folded earlier.
+        _ => None,
+    }
+}
+
+/// Integer constant arithmetic; division by zero is not a constant.
+pub(crate) fn eval_binop(op: BinaryOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinaryOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinaryOp::BitAnd => a & b,
+        BinaryOp::BitOr => a | b,
+        BinaryOp::BitXor => a ^ b,
+        BinaryOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinaryOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+        BinaryOp::Eq => (a == b) as i64,
+        BinaryOp::Ne => (a != b) as i64,
+        BinaryOp::Lt => (a < b) as i64,
+        BinaryOp::Le => (a <= b) as i64,
+        BinaryOp::Gt => (a > b) as i64,
+        BinaryOp::Ge => (a >= b) as i64,
+        BinaryOp::LAnd => ((a != 0) && (b != 0)) as i64,
+        BinaryOp::LOr => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+/// Scope stack for local declarations.
+struct Scopes {
+    stack: Vec<Vec<(String, Type)>>,
+}
+
+impl Scopes {
+    fn new() -> Scopes {
+        Scopes { stack: Vec::new() }
+    }
+
+    fn push(&mut self) {
+        self.stack.push(Vec::new());
+    }
+
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Declares a name in the innermost scope; false if already present
+    /// *in that scope* (shadowing outer scopes is allowed).
+    fn declare(&mut self, name: &str, ty: Type) -> bool {
+        let top = self.stack.last_mut().expect("scope stack never empty");
+        if top.iter().any(|(n, _)| n == name) {
+            return false;
+        }
+        top.push((name.to_string(), ty));
+        true
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.stack
+            .iter()
+            .rev()
+            .find_map(|s| s.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t))
+    }
+}
+
+/// Computes a struct layout with cycle detection.
+fn layout_of(
+    unit: &str,
+    defs: &BTreeMap<String, StructDef>,
+    done: &mut BTreeMap<String, StructLayout>,
+    visiting: &mut HashSet<String>,
+    name: &str,
+) -> Result<StructLayout, CompileError> {
+    if let Some(l) = done.get(name) {
+        return Ok(l.clone());
+    }
+    let def = defs
+        .get(name)
+        .ok_or_else(|| CompileError::new(unit, 0, format!("unknown struct `{name}`")))?;
+    if !visiting.insert(name.to_string()) {
+        return Err(CompileError::new(
+            unit,
+            def.line,
+            format!("struct `{name}` recursively contains itself by value"),
+        ));
+    }
+    let mut offset = 0u64;
+    let mut align = 1u64;
+    let mut fields = Vec::new();
+    for (fname, fty) in &def.fields {
+        let (fsize, falign) = type_size_align(unit, defs, done, visiting, fty)?;
+        offset = round_up(offset, falign);
+        fields.push((fname.clone(), offset, fty.clone()));
+        offset += fsize;
+        align = align.max(falign);
+    }
+    let layout = StructLayout {
+        size: round_up(offset.max(1), align),
+        align,
+        fields,
+    };
+    visiting.remove(name);
+    done.insert(name.to_string(), layout.clone());
+    Ok(layout)
+}
+
+fn type_size_align(
+    unit: &str,
+    defs: &BTreeMap<String, StructDef>,
+    done: &mut BTreeMap<String, StructLayout>,
+    visiting: &mut HashSet<String>,
+    ty: &Type,
+) -> Result<(u64, u64), CompileError> {
+    Ok(match ty {
+        Type::Int | Type::Ptr(_) => (WORD, WORD),
+        Type::Byte => (1, 1),
+        Type::Struct(n) => {
+            let l = layout_of(unit, defs, done, visiting, n)?;
+            (l.size, l.align)
+        }
+        Type::Array(elem, n) => {
+            let (s, a) = type_size_align(unit, defs, done, visiting, elem)?;
+            (s * n, a)
+        }
+    })
+}
+
+pub(crate) fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two() || align == 1);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn check(src: &str) -> Result<Sema, CompileError> {
+        check_unit(&parse_unit("t.kc", src).unwrap())
+    }
+
+    #[test]
+    fn struct_layout_offsets() {
+        let s =
+            check("struct inode { int ino; byte tag; int mode; byte name[3]; int uid; };").unwrap();
+        let l = s.layout("inode").unwrap();
+        assert_eq!(l.field("ino").unwrap().0, 0);
+        assert_eq!(l.field("tag").unwrap().0, 8);
+        assert_eq!(l.field("mode").unwrap().0, 16); // aligned up from 9
+        assert_eq!(l.field("name").unwrap().0, 24);
+        assert_eq!(l.field("uid").unwrap().0, 32); // aligned up from 27
+        assert_eq!(l.size, 40);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let s = check("struct a { int x; }; struct b { struct a hdr; int y; };").unwrap();
+        assert_eq!(s.layout("b").unwrap().size, 16);
+        assert_eq!(s.field("b", "y").unwrap().0, 8);
+    }
+
+    #[test]
+    fn recursive_by_value_rejected() {
+        let e = check("struct s { struct s inner; };").unwrap_err();
+        assert!(e.message.contains("recursively"));
+        // Self-pointers are fine.
+        check("struct s { struct s *next; };").unwrap();
+    }
+
+    #[test]
+    fn field_errors() {
+        let e = check("struct s { int a; }; int f(struct s *p) { return p->b; }").unwrap_err();
+        assert!(e.message.contains("no field `b`"));
+        let e = check("int f(int x) { return x.a; }").unwrap_err();
+        assert!(e.message.contains("requires a struct"));
+    }
+
+    #[test]
+    fn lvalue_enforcement() {
+        assert!(check("int f() { 1 = 2; return 0; }").is_err());
+        assert!(check("int f() { int x; &(x + 1); return 0; }").is_err());
+        check("int f() { int x; x = 2; return x; }").unwrap();
+    }
+
+    #[test]
+    fn loop_control_scoping() {
+        assert!(check("int f() { break; return 0; }").is_err());
+        check("int f() { while (1) { break; } return 0; }").unwrap();
+    }
+
+    #[test]
+    fn call_arity_checked_for_unit_functions() {
+        let e = check("int g(int a) { return a; } int f() { return g(1, 2); }").unwrap_err();
+        assert!(e.message.contains("takes 1 argument"));
+        // External functions have unknown arity: allowed.
+        check("int f() { return printk(1, 2, 3); }").unwrap();
+    }
+
+    #[test]
+    fn const_initialisers() {
+        check("int x = 4 * 10 + 2;").unwrap();
+        check("int f() { return 0; } int ptr = &f;").unwrap();
+        assert!(check("int y = z + 1;").is_err()); // z unknown at link time
+        assert!(check("int f(int a) { static int s = a; return s; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(check("int x; int x;").is_err());
+        assert!(check("int f() { return 0; } int f() { return 1; }").is_err());
+        assert!(check("int f() { int a; int a; return 0; }").is_err());
+        // Shadowing in an inner scope is fine.
+        check("int f() { int a; { int a; a = 1; } return a; }").unwrap();
+    }
+
+    #[test]
+    fn headers_provide_structs_and_globals() {
+        let hdr = parse_unit(
+            "include/fs.kh",
+            "struct file { int mode; }; struct file *cur;",
+        )
+        .unwrap();
+        let ctx = HeaderContext::from_units(&[hdr]).unwrap();
+        let unit = parse_unit("fs/open.kc", "int f() { return cur->mode; }").unwrap();
+        check_unit_with(&unit, &ctx).unwrap();
+    }
+
+    #[test]
+    fn header_rules_enforced() {
+        let bad = parse_unit("include/x.kh", "int x = 3;").unwrap();
+        assert!(HeaderContext::from_units(&[bad]).is_err());
+        let bad = parse_unit("include/x.kh", "int f() { return 0; }").unwrap();
+        assert!(HeaderContext::from_units(&[bad]).is_err());
+    }
+
+    #[test]
+    fn hook_must_reference_defined_function() {
+        assert!(check("ksplice_apply(nonexistent);").is_err());
+        check("int up() { return 0; } ksplice_apply(up);").unwrap();
+    }
+
+    #[test]
+    fn pointer_arithmetic_types() {
+        check(
+            "struct e { int v; };\
+             int f(struct e *p, int n) { return (p + n)->v; }",
+        )
+        .unwrap();
+    }
+}

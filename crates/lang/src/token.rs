@@ -1,0 +1,157 @@
+//! Token definitions for `kc`.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The kinds of `kc` tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names.
+    Ident(String),
+    Int(i64),
+    Str(Vec<u8>),
+
+    // Keywords.
+    KwInt,
+    KwByte,
+    KwStruct,
+    KwStatic,
+    KwInline,
+    KwExtern,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up a keyword, or returns an identifier token.
+    pub fn ident_or_keyword(word: &str) -> TokenKind {
+        match word {
+            "int" => TokenKind::KwInt,
+            "byte" => TokenKind::KwByte,
+            "struct" => TokenKind::KwStruct,
+            "static" => TokenKind::KwStatic,
+            "inline" => TokenKind::KwInline,
+            "extern" => TokenKind::KwExtern,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "sizeof" => TokenKind::KwSizeof,
+            _ => TokenKind::Ident(word.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let text = match other {
+                    TokenKind::KwInt => "int",
+                    TokenKind::KwByte => "byte",
+                    TokenKind::KwStruct => "struct",
+                    TokenKind::KwStatic => "static",
+                    TokenKind::KwInline => "inline",
+                    TokenKind::KwExtern => "extern",
+                    TokenKind::KwIf => "if",
+                    TokenKind::KwElse => "else",
+                    TokenKind::KwWhile => "while",
+                    TokenKind::KwFor => "for",
+                    TokenKind::KwReturn => "return",
+                    TokenKind::KwBreak => "break",
+                    TokenKind::KwContinue => "continue",
+                    TokenKind::KwSizeof => "sizeof",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Arrow => "->",
+                    TokenKind::Assign => "=",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Bang => "!",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    _ => unreachable!("covered above"),
+                };
+                write!(f, "`{text}`")
+            }
+        }
+    }
+}

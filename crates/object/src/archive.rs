@@ -1,0 +1,168 @@
+//! Object archives: the output of one full kernel build.
+//!
+//! `ksplice-create` performs two kernel builds — original source (*pre*)
+//! and patched source (*post*) — and compares the resulting object files
+//! (paper §3.2, Figure 1). An [`ObjectSet`] is what one such build
+//! produces: a deterministic, name-keyed collection of relocatable
+//! objects, one per compilation unit.
+
+use std::collections::BTreeMap;
+
+use crate::io::{ParseError, Reader};
+use crate::model::Object;
+
+const MAGIC: &[u8; 4] = b"KSET";
+
+/// A build's worth of object files, keyed by compilation-unit name.
+///
+/// Iteration order is the sorted unit name order (a `BTreeMap`), so
+/// serialisations and diffs are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObjectSet {
+    objects: BTreeMap<String, Object>,
+}
+
+impl ObjectSet {
+    /// Creates an empty set.
+    pub fn new() -> ObjectSet {
+        ObjectSet::default()
+    }
+
+    /// Inserts an object under its own compilation-unit name, replacing
+    /// any previous object of the same name.
+    pub fn insert(&mut self, object: Object) {
+        self.objects.insert(object.name.clone(), object);
+    }
+
+    /// Looks up a compilation unit by name.
+    pub fn get(&self, name: &str) -> Option<&Object> {
+        self.objects.get(name)
+    }
+
+    /// Removes a compilation unit by name.
+    pub fn remove(&mut self, name: &str) -> Option<Object> {
+        self.objects.remove(name)
+    }
+
+    /// Number of compilation units.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the set holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates compilation units in deterministic (sorted-name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Object)> {
+        self.objects.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Unit names present in `self` but whose object differs from (or is
+    /// absent in) `other` — the raw material of pre-post differencing.
+    pub fn changed_units<'a>(&'a self, other: &ObjectSet) -> Vec<&'a str> {
+        self.objects
+            .iter()
+            .filter(|(name, obj)| other.get(name) != Some(obj))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Serializes the whole archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for obj in self.objects.values() {
+            let body = obj.to_bytes();
+            out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+
+    /// Parses an archive produced by [`ObjectSet::to_bytes`].
+    pub fn parse(bytes: &[u8]) -> Result<ObjectSet, ParseError> {
+        if bytes.len() < 4 {
+            return Err(ParseError::Truncated);
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(ParseError::BadMagic);
+        }
+        let mut r = Reader::new(&bytes[4..]);
+        let mut set = ObjectSet::new();
+        let count = r.u32()?;
+        for _ in 0..count {
+            let body = r.blob()?;
+            set.insert(Object::parse(body)?);
+        }
+        if r.remaining() != 0 {
+            return Err(ParseError::TrailingBytes(r.remaining()));
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<Object> for ObjectSet {
+    fn from_iter<T: IntoIterator<Item = Object>>(iter: T) -> ObjectSet {
+        let mut set = ObjectSet::new();
+        for o in iter {
+            set.insert(o);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Section, SectionFlags};
+
+    fn obj(name: &str, byte: u8) -> Object {
+        let mut o = Object::new(name);
+        o.add_section(Section::progbits(
+            ".text.f",
+            SectionFlags::text(),
+            vec![byte],
+        ));
+        o
+    }
+
+    #[test]
+    fn roundtrip() {
+        let set: ObjectSet = [obj("b.kc", 1), obj("a.kc", 2)].into_iter().collect();
+        let back = ObjectSet::parse(&set.to_bytes()).unwrap();
+        assert_eq!(back, set);
+        // Deterministic order: sorted by name.
+        let names: Vec<&str> = back.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.kc", "b.kc"]);
+    }
+
+    #[test]
+    fn changed_units_detects_differences() {
+        let pre: ObjectSet = [obj("a.kc", 1), obj("b.kc", 2)].into_iter().collect();
+        let mut post = pre.clone();
+        post.insert(obj("b.kc", 3));
+        assert_eq!(post.changed_units(&pre), vec!["b.kc"]);
+        assert_eq!(pre.changed_units(&pre), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn changed_units_includes_new_files() {
+        let pre: ObjectSet = [obj("a.kc", 1)].into_iter().collect();
+        let post: ObjectSet = [obj("a.kc", 1), obj("new.kc", 9)].into_iter().collect();
+        assert_eq!(post.changed_units(&pre), vec!["new.kc"]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ObjectSet::parse(b"XXXX").is_err());
+        assert!(ObjectSet::parse(b"KS").is_err());
+        let set: ObjectSet = [obj("a.kc", 1)].into_iter().collect();
+        let bytes = set.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(ObjectSet::parse(&bytes[..cut]).is_err());
+        }
+    }
+}

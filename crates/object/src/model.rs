@@ -1,0 +1,502 @@
+//! The in-memory KELF object model.
+
+use std::fmt;
+
+/// What a section contains, mirroring ELF `sh_type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Bytes present in the file (code, initialised data, read-only data).
+    Progbits,
+    /// Zero-initialised data occupying no file space (`.bss`-like).
+    Nobits,
+    /// Out-of-band metadata consumed by tools (e.g. Ksplice's hook
+    /// sections), never loaded into the kernel image.
+    Note,
+}
+
+/// Section attribute flags, mirroring ELF `sh_flags`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SectionFlags {
+    /// Occupies memory at run time.
+    pub alloc: bool,
+    /// Writable at run time.
+    pub write: bool,
+    /// Contains executable machine code.
+    pub exec: bool,
+}
+
+impl SectionFlags {
+    /// Flags for an executable text section.
+    pub fn text() -> SectionFlags {
+        SectionFlags {
+            alloc: true,
+            write: false,
+            exec: true,
+        }
+    }
+
+    /// Flags for a writable data section.
+    pub fn data() -> SectionFlags {
+        SectionFlags {
+            alloc: true,
+            write: true,
+            exec: false,
+        }
+    }
+
+    /// Flags for a read-only data section.
+    pub fn rodata() -> SectionFlags {
+        SectionFlags {
+            alloc: true,
+            write: false,
+            exec: false,
+        }
+    }
+
+    /// Flags for a non-allocated note section.
+    pub fn note() -> SectionFlags {
+        SectionFlags::default()
+    }
+
+    pub(crate) fn to_byte(self) -> u8 {
+        (self.alloc as u8) | (self.write as u8) << 1 | (self.exec as u8) << 2
+    }
+
+    pub(crate) fn from_byte(b: u8) -> SectionFlags {
+        SectionFlags {
+            alloc: b & 1 != 0,
+            write: b & 2 != 0,
+            exec: b & 4 != 0,
+        }
+    }
+}
+
+/// Relocation types, mirroring the x86-64 ELF relocations Ksplice handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelocKind {
+    /// 64-bit absolute: stored value is `S + A`.
+    Abs64,
+    /// 32-bit absolute (checked for overflow): stored value is `S + A`.
+    Abs32,
+    /// 32-bit PC-relative: stored value is `S + A − P` where `P` is the
+    /// address of the field being patched (`R_X86_64_PC32`-style).
+    Pcrel32,
+}
+
+impl RelocKind {
+    /// The width in bytes of the patched field.
+    pub fn width(self) -> usize {
+        match self {
+            RelocKind::Abs64 => 8,
+            RelocKind::Abs32 | RelocKind::Pcrel32 => 4,
+        }
+    }
+
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            RelocKind::Abs64 => 0,
+            RelocKind::Abs32 => 1,
+            RelocKind::Pcrel32 => 2,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Option<RelocKind> {
+        match b {
+            0 => Some(RelocKind::Abs64),
+            1 => Some(RelocKind::Abs32),
+            2 => Some(RelocKind::Pcrel32),
+            _ => None,
+        }
+    }
+}
+
+/// One RELA-style relocation entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Offset of the patched field within the owning section.
+    pub offset: u64,
+    /// Relocation type.
+    pub kind: RelocKind,
+    /// Index into the object's symbol table.
+    pub symbol: usize,
+    /// Constant addend folded into the stored value.
+    pub addend: i64,
+}
+
+/// One section of an object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name, e.g. `.text.vfs_readdir` (with `-ffunction-sections`
+    /// every function gets its own `.text.<fn>` section; §3.2).
+    pub name: String,
+    pub kind: SectionKind,
+    pub flags: SectionFlags,
+    /// Required alignment (power of two).
+    pub align: u32,
+    /// Section contents; empty for [`SectionKind::Nobits`].
+    pub data: Vec<u8>,
+    /// Run-time size; equals `data.len()` except for `Nobits`.
+    pub size: u64,
+    /// Relocations applying to this section's contents.
+    pub relocs: Vec<Reloc>,
+}
+
+impl Section {
+    /// Creates a progbits section whose size is its data length.
+    pub fn progbits(name: &str, flags: SectionFlags, data: Vec<u8>) -> Section {
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Progbits,
+            flags,
+            align: 16,
+            size: data.len() as u64,
+            data,
+            relocs: Vec::new(),
+        }
+    }
+
+    /// Creates a nobits (zero-fill) section of the given size.
+    pub fn nobits(name: &str, size: u64) -> Section {
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Nobits,
+            flags: SectionFlags::data(),
+            align: 16,
+            data: Vec::new(),
+            size,
+            relocs: Vec::new(),
+        }
+    }
+
+    /// True if this section is loaded into memory at run time.
+    pub fn is_alloc(&self) -> bool {
+        self.flags.alloc
+    }
+
+    /// True for per-function text sections (`.text.<name>`).
+    pub fn is_function_text(&self) -> bool {
+        self.flags.exec && self.name.starts_with(".text.")
+    }
+}
+
+/// Symbol binding, mirroring ELF `STB_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Visible only within the defining object (C `static`). Local symbol
+    /// *names* may collide across compilation units — the ambiguity
+    /// run-pre matching exists to resolve (§4.1).
+    Local,
+    /// Visible across the whole kernel.
+    Global,
+}
+
+/// Symbol classification, mirroring ELF `STT_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymKind {
+    Func,
+    Object,
+    /// The anonymous symbol standing for a section's own start address.
+    Section,
+    NoType,
+}
+
+/// Where a defined symbol lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolDef {
+    /// Index of the defining section within the object.
+    pub section: usize,
+    /// Offset of the symbol within that section.
+    pub offset: u64,
+    /// Size in bytes (0 if unknown).
+    pub size: u64,
+}
+
+/// One symbol table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    pub name: String,
+    pub binding: Binding,
+    pub kind: SymKind,
+    /// `None` for undefined (external) symbols awaiting resolution.
+    pub def: Option<SymbolDef>,
+}
+
+impl Symbol {
+    /// An undefined global reference to `name`.
+    pub fn undefined(name: &str) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            binding: Binding::Global,
+            kind: SymKind::NoType,
+            def: None,
+        }
+    }
+
+    /// A defined symbol at `section`/`offset`.
+    pub fn defined(
+        name: &str,
+        binding: Binding,
+        kind: SymKind,
+        section: usize,
+        offset: u64,
+        size: u64,
+    ) -> Symbol {
+        Symbol {
+            name: name.to_string(),
+            binding,
+            kind,
+            def: Some(SymbolDef {
+                section,
+                offset,
+                size,
+            }),
+        }
+    }
+}
+
+/// Structural problems detected by [`Object::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A relocation's symbol index is out of range.
+    BadSymbolIndex { section: String, index: usize },
+    /// A symbol's defining section index is out of range.
+    BadSectionIndex { symbol: String, index: usize },
+    /// A relocation field extends past the end of its section.
+    RelocOutOfRange { section: String, offset: u64 },
+    /// A progbits section whose `size` disagrees with its data length.
+    SizeMismatch { section: String },
+    /// A symbol offset lies outside its defining section.
+    SymbolOutOfRange { symbol: String },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadSymbolIndex { section, index } => {
+                write!(
+                    f,
+                    "section {section}: relocation symbol index {index} out of range"
+                )
+            }
+            ValidateError::BadSectionIndex { symbol, index } => {
+                write!(f, "symbol {symbol}: section index {index} out of range")
+            }
+            ValidateError::RelocOutOfRange { section, offset } => {
+                write!(f, "section {section}: relocation at {offset:#x} past end")
+            }
+            ValidateError::SizeMismatch { section } => {
+                write!(f, "section {section}: size disagrees with data length")
+            }
+            ValidateError::SymbolOutOfRange { symbol } => {
+                write!(f, "symbol {symbol}: offset outside defining section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A relocatable object file: the output of compiling one compilation
+/// unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Object {
+    /// Compilation unit name, e.g. `fs/exec.kc`.
+    pub name: String,
+    pub sections: Vec<Section>,
+    pub symbols: Vec<Symbol>,
+}
+
+impl Object {
+    /// Creates an empty object for the named compilation unit.
+    pub fn new(name: &str) -> Object {
+        Object {
+            name: name.to_string(),
+            ..Object::default()
+        }
+    }
+
+    /// Appends a section, returning its index.
+    pub fn add_section(&mut self, section: Section) -> usize {
+        self.sections.push(section);
+        self.sections.len() - 1
+    }
+
+    /// Appends a symbol, returning its index.
+    pub fn add_symbol(&mut self, symbol: Symbol) -> usize {
+        self.symbols.push(symbol);
+        self.symbols.len() - 1
+    }
+
+    /// Finds a section by exact name.
+    pub fn section_by_name(&self, name: &str) -> Option<(usize, &Section)> {
+        self.sections
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
+    }
+
+    /// Finds the first symbol with the given name.
+    pub fn symbol_by_name(&self, name: &str) -> Option<(usize, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name == name)
+    }
+
+    /// Returns the index of the symbol named `name`, adding an undefined
+    /// global entry if absent.
+    pub fn intern_symbol(&mut self, name: &str) -> usize {
+        if let Some((i, _)) = self.symbol_by_name(name) {
+            return i;
+        }
+        self.add_symbol(Symbol::undefined(name))
+    }
+
+    /// All function symbols defined in this object.
+    pub fn defined_functions(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.kind == SymKind::Func && s.def.is_some())
+    }
+
+    /// Checks internal consistency of indices, offsets and sizes.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for sec in &self.sections {
+            if sec.kind == SectionKind::Progbits && sec.size != sec.data.len() as u64 {
+                return Err(ValidateError::SizeMismatch {
+                    section: sec.name.clone(),
+                });
+            }
+            for r in &sec.relocs {
+                if r.symbol >= self.symbols.len() {
+                    return Err(ValidateError::BadSymbolIndex {
+                        section: sec.name.clone(),
+                        index: r.symbol,
+                    });
+                }
+                let end = r.offset + r.kind.width() as u64;
+                if end > sec.size {
+                    return Err(ValidateError::RelocOutOfRange {
+                        section: sec.name.clone(),
+                        offset: r.offset,
+                    });
+                }
+            }
+        }
+        for sym in &self.symbols {
+            if let Some(def) = sym.def {
+                let sec = self.sections.get(def.section).ok_or_else(|| {
+                    ValidateError::BadSectionIndex {
+                        symbol: sym.name.clone(),
+                        index: def.section,
+                    }
+                })?;
+                if def.offset > sec.size {
+                    return Err(ValidateError::SymbolOutOfRange {
+                        symbol: sym.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Object {
+        let mut o = Object::new("kernel/sys.kc");
+        let text = o.add_section(Section::progbits(
+            ".text.sys_prctl",
+            SectionFlags::text(),
+            vec![0x90; 16],
+        ));
+        let sym = o.add_symbol(Symbol::defined(
+            "sys_prctl",
+            Binding::Global,
+            SymKind::Func,
+            text,
+            0,
+            16,
+        ));
+        let ext = o.intern_symbol("printk");
+        o.sections[text].relocs.push(Reloc {
+            offset: 4,
+            kind: RelocKind::Pcrel32,
+            symbol: ext,
+            addend: -4,
+        });
+        assert_ne!(sym, ext);
+        o
+    }
+
+    #[test]
+    fn valid_object_passes() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_symbol_index_caught() {
+        let mut o = sample();
+        o.sections[0].relocs[0].symbol = 99;
+        assert!(matches!(
+            o.validate(),
+            Err(ValidateError::BadSymbolIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn reloc_past_end_caught() {
+        let mut o = sample();
+        o.sections[0].relocs[0].offset = 13; // 13 + 4 > 16
+        assert!(matches!(
+            o.validate(),
+            Err(ValidateError::RelocOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_caught() {
+        let mut o = sample();
+        o.sections[0].size = 99;
+        assert!(matches!(
+            o.validate(),
+            Err(ValidateError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn symbol_out_of_range_caught() {
+        let mut o = sample();
+        o.symbols[0].def.as_mut().unwrap().offset = 17;
+        assert!(matches!(
+            o.validate(),
+            Err(ValidateError::SymbolOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut o = sample();
+        let a = o.intern_symbol("printk");
+        let b = o.intern_symbol("printk");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        for b in 0..8u8 {
+            assert_eq!(SectionFlags::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn function_text_detection() {
+        assert!(Section::progbits(".text.foo", SectionFlags::text(), vec![]).is_function_text());
+        assert!(!Section::progbits(".data.foo", SectionFlags::data(), vec![]).is_function_text());
+        // A data section suspiciously named .text.foo is still not text.
+        assert!(!Section::progbits(".text.foo", SectionFlags::data(), vec![]).is_function_text());
+    }
+}

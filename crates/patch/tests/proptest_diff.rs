@@ -1,0 +1,84 @@
+//! Property tests: generated diffs always apply and reverse cleanly.
+
+use ksplice_patch::{make_diff, Patch};
+use proptest::prelude::*;
+
+fn arb_file() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{0,12}", 0..40)
+}
+
+/// A random edit script applied to a random file.
+fn arb_edit() -> impl Strategy<Value = (Vec<String>, Vec<String>)> {
+    arb_file().prop_flat_map(|old| {
+        let n = old.len();
+        proptest::collection::vec(
+            (
+                0..=n,
+                prop_oneof![Just(0u8), Just(1), Just(2)],
+                "[a-z]{0,12}",
+            ),
+            0..8,
+        )
+        .prop_map(move |ops| {
+            let mut new = old.clone();
+            for (pos, kind, text) in ops {
+                let pos = pos.min(new.len());
+                match kind {
+                    0 if pos < new.len() => {
+                        new.remove(pos);
+                    }
+                    1 => new.insert(pos, text),
+                    _ if pos < new.len() => new[pos] = text,
+                    _ => {}
+                }
+            }
+            (old.clone(), new)
+        })
+    })
+}
+
+fn join(lines: &[String]) -> String {
+    let mut s = lines.join("\n");
+    if !s.is_empty() {
+        s.push('\n');
+    }
+    s
+}
+
+proptest! {
+    /// `make_diff` output parses, applies to reproduce the new file, and
+    /// reverse-applies to reproduce the old file.
+    #[test]
+    fn diff_apply_reverse_roundtrip((old, new) in arb_edit()) {
+        let old_s = join(&old);
+        let new_s = join(&new);
+        match make_diff("f.kc", &old_s, &new_s) {
+            None => prop_assert_eq!(&old_s, &new_s),
+            Some(text) => {
+                let p = Patch::parse(&text).unwrap();
+                prop_assert_eq!(p.apply_to(&old_s, "f.kc").unwrap(), new_s.clone());
+                prop_assert_eq!(p.reversed().apply_to(&new_s, "f.kc").unwrap(), old_s);
+            }
+        }
+    }
+
+    /// The changed-line count never exceeds a full rewrite and is nonzero
+    /// whenever the contents differ.
+    #[test]
+    fn changed_line_count_bounds((old, new) in arb_edit()) {
+        let old_s = join(&old);
+        let new_s = join(&new);
+        if let Some(text) = make_diff("f.kc", &old_s, &new_s) {
+            let p = Patch::parse(&text).unwrap();
+            let n = p.changed_line_count();
+            prop_assert!(n >= 1);
+            prop_assert!(n <= old.len() + new.len());
+        }
+    }
+
+    /// The parser survives arbitrary text.
+    #[test]
+    fn parser_total_on_garbage(text in "\\PC{0,400}") {
+        let _ = Patch::parse(&text);
+    }
+}

@@ -1,0 +1,73 @@
+//! Stacked updates: patching a previously-patched kernel (paper §5.4).
+//!
+//! Run with: `cargo run --example stacked_updates`
+//!
+//! Applies two successive hot updates — the second created against the
+//! previously-patched source — then reverses them in LIFO order. The
+//! second update's run-pre matching matches against the first update's
+//! replacement code in the primary module, exactly as §5.4 describes.
+
+use ksplice::core::{create_update, ApplyOptions, CreateOptions, Ksplice};
+use ksplice::kernel::Kernel;
+use ksplice::lang::{Options, SourceTree};
+use ksplice::patch::make_diff;
+
+fn main() {
+    let v0 =
+        "int policy(int n) {\n    if (n < 0) {\n        return 0 - 22;\n    }\n    return 1;\n}\n";
+    let v1 = v0.replace("return 1;", "return 2;");
+    let v2 = v1.replace("return 2;", "return 3;");
+
+    let mut tree = SourceTree::new();
+    tree.insert("policy.kc", v0);
+    let mut kernel = Kernel::boot(&tree, &Options::distro()).expect("boot");
+    let mut ks = Ksplice::new();
+    println!(
+        "booted:        policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
+    );
+
+    // Update 1: created against the original source.
+    let p1 = make_diff("policy.kc", v0, &v1).unwrap();
+    let (pack1, patched_src) =
+        create_update("update-1", &tree, &p1, &CreateOptions::default()).unwrap();
+    ks.apply(&mut kernel, &pack1, &ApplyOptions::default())
+        .unwrap();
+    println!(
+        "after update1: policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
+    );
+
+    // Update 2: created against the PREVIOUSLY-PATCHED source (§5.4).
+    // Its run-pre matching targets update 1's replacement code.
+    let p2 = make_diff("policy.kc", &v1, &v2).unwrap();
+    let (pack2, _) =
+        create_update("update-2", &patched_src, &p2, &CreateOptions::default()).unwrap();
+    ks.apply(&mut kernel, &pack2, &ApplyOptions::default())
+        .unwrap();
+    println!(
+        "after update2: policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
+    );
+
+    // Undo is strictly LIFO: update 1 is pinned while update 2 is live.
+    let denied = ks.undo(&mut kernel, "update-1", &ApplyOptions::default());
+    println!(
+        "undo update-1 while update-2 live: {}",
+        denied.err().map(|e| e.to_string()).unwrap_or_default()
+    );
+
+    ks.undo(&mut kernel, "update-2", &ApplyOptions::default())
+        .unwrap();
+    println!(
+        "after undo 2:  policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
+    );
+    ks.undo(&mut kernel, "update-1", &ApplyOptions::default())
+        .unwrap();
+    println!(
+        "after undo 1:  policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
+    );
+    println!("Done!");
+}
