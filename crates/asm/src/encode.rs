@@ -77,7 +77,7 @@ impl Instr {
                 assert!((2..=9).contains(&n), "NopN length {n} out of range");
                 out.push(OP_NOPN);
                 out.push(n);
-                out.extend(std::iter::repeat(0u8).take(n as usize - 2));
+                out.extend(std::iter::repeat_n(0u8, n as usize - 2));
             }
             Instr::MovRR(d, s) => {
                 out.push(OP_MOVRR);

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ksplice_bench::boot_eval_kernel;
-use ksplice_core::match_unit;
+use ksplice_core::{match_unit, match_unit_traced, Tracer};
 use ksplice_eval::base_tree;
 use ksplice_lang::{build_tree, Options};
 
@@ -20,13 +20,18 @@ fn bench(c: &mut Criterion) {
     let unit = pre.get("net/socket.kc").unwrap().clone();
     let empty = BTreeMap::new();
 
-    // Robustness demo (E9).
-    let ok = match_unit(&kernel, &unit, &empty).expect("same source matches");
+    // Robustness demo (E9), instrumented: the tracer's counters (bytes
+    // matched, relocations recovered, nops skipped, pc-rel checks) go to
+    // BENCH_runpre_matching.json for machine consumption.
+    let mut tracer = Tracer::new();
+    let ok = match_unit_traced(&kernel, &unit, &empty, &mut tracer).expect("same source matches");
     println!(
         "\n== run-pre matched net/socket.kc: {} functions, {} symbol bindings recovered ==",
         ok.fn_addrs.len(),
         ok.bindings.len()
     );
+    std::fs::write("BENCH_runpre_matching.json", tracer.metrics_json())
+        .expect("write BENCH_runpre_matching.json");
     let v2 = build_tree(
         &base_tree(),
         &Options {

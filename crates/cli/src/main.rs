@@ -8,7 +8,15 @@
 //! ksplice demo   [--cve <id>]           # boot, exploit, hot-patch, re-exploit
 //! ksplice eval   [--stress <rounds>]    # the full §6 evaluation
 //! ksplice list                          # the 64-CVE corpus
+//! ksplice report <trace.jsonl>          # summarise a recorded trace
 //! ```
+//!
+//! Every command accepts the global flags `--trace <path>` (write the
+//! structured event stream as JSONL), `--verbose` (show Debug events)
+//! and `--quiet` (only Errors). Progress output goes through the
+//! human-readable trace sink, so the verbosity flags govern *all* of it
+//! uniformly; command *products* (pack listings, the corpus table, the
+//! evaluation report) print plainly regardless.
 //!
 //! `create` reads an on-disk source tree (files with `.kc`/`.ks`/`.kh`
 //! suffixes), applies a unified diff, performs the pre and post builds,
@@ -20,31 +28,63 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice, UpdatePack};
+use ksplice_core::trace::{Event, HumanSink, JsonlSink, Severity, Stage, Tracer, Value};
+use ksplice_core::{create_update_traced, ApplyOptions, CreateOptions, Ksplice, UpdatePack};
 use ksplice_eval::{base_tree, corpus, run_exploit, run_full_evaluation};
 use ksplice_kernel::Kernel;
 use ksplice_lang::{Options, SourceTree};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_flag_value(&mut args, "--trace");
+    if trace_path.is_none() && args.iter().any(|a| a == "--trace") {
+        eprintln!("ksplice: --trace requires a file path");
+        return ExitCode::from(2);
+    }
+    let verbose = take_flag(&mut args, "--verbose");
+    let quiet = take_flag(&mut args, "--quiet");
+
+    let min_severity = if quiet {
+        Severity::Error
+    } else if verbose {
+        Severity::Debug
+    } else {
+        Severity::Info
+    };
+    let mut tracer = Tracer::new().with_sink(Box::new(HumanSink::stdout(min_severity)));
+    if let Some(path) = &trace_path {
+        match JsonlSink::create(Path::new(path)) {
+            Ok(sink) => {
+                tracer.add_sink(Box::new(sink));
+            }
+            Err(e) => {
+                eprintln!("ksplice: cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let result = match args.first().map(String::as_str) {
-        Some("create") => cmd_create(&args[1..]),
+        Some("create") => cmd_create(&args[1..], &mut tracer),
         Some("inspect") => cmd_inspect(&args[1..]),
-        Some("demo") => cmd_demo(&args[1..]),
-        Some("eval") => cmd_eval(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..], &mut tracer),
+        Some("eval") => cmd_eval(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
+        Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ksplice <create|inspect|demo|eval|list> [options]\n\
+                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>]\
                  \n  eval    [--stress <rounds>]\
-                 \n  list"
+                 \n  list\
+                 \n  report  <trace.jsonl>"
             );
             return ExitCode::from(2);
         }
     };
+    tracer.flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -54,11 +94,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// Removes a boolean flag, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `name <value>`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Progress note: an Info-severity CLI event carrying one message.
+fn note(tracer: &mut Tracer, name: &str, msg: String) {
+    tracer.emit(Stage::Cli, Severity::Info, name, vec![("msg", msg.into())]);
 }
 
 /// Reads a source tree from disk: every `.kc`/`.ks`/`.kh` file under
@@ -93,7 +160,7 @@ fn read_tree(root: &Path) -> Result<SourceTree, String> {
     Ok(tree)
 }
 
-fn cmd_create(args: &[String]) -> Result<(), String> {
+fn cmd_create(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let tree_dir = flag_value(args, "--tree").ok_or("create: missing --tree <dir>")?;
     let patch_file = flag_value(args, "--patch").ok_or("create: missing --patch <file>")?;
     let id = flag_value(args, "--id").ok_or("create: missing --id <name>")?;
@@ -108,15 +175,20 @@ fn cmd_create(args: &[String]) -> Result<(), String> {
         accept_data_changes: accept,
         ..CreateOptions::default()
     };
-    let (pack, _) = create_update(id, &tree, &patch, &opts).map_err(|e| e.to_string())?;
+    let (pack, _) =
+        create_update_traced(id, &tree, &patch, &opts, tracer).map_err(|e| e.to_string())?;
     std::fs::write(&out, pack.to_bytes()).map_err(|e| format!("{}: {e}", out.display()))?;
-    println!(
-        "Ksplice update pack written to {} ({} unit(s), {} function(s) replaced, helper {}B / primary {}B)",
-        out.display(),
-        pack.units.len(),
-        pack.replaced_fn_count(),
-        pack.helper_size(),
-        pack.primary_size()
+    note(
+        tracer,
+        "cli.pack_written",
+        format!(
+            "Ksplice update pack written to {} ({} unit(s), {} function(s) replaced, helper {}B / primary {}B)",
+            out.display(),
+            pack.units.len(),
+            pack.replaced_fn_count(),
+            pack.helper_size(),
+            pack.primary_size()
+        ),
     );
     Ok(())
 }
@@ -138,23 +210,33 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let id = flag_value(args, "--cve").unwrap_or("CVE-2006-2451");
     let case = corpus()
         .into_iter()
         .find(|c| c.id == id)
         .ok_or_else(|| format!("unknown CVE `{id}` (try `ksplice list`)"))?;
-    println!("booting the vulnerable kernel...");
+    note(
+        tracer,
+        "cli.boot",
+        "booting the vulnerable kernel...".into(),
+    );
     let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
+    tracer.set_now(kernel.steps);
     if case.exploit.is_some() {
         let worked = run_exploit(&mut kernel, &case) == Some(true);
-        println!(
-            "exploit for {id}: {}",
-            if worked {
-                "SUCCEEDS (vulnerable)"
-            } else {
-                "fails"
-            }
+        tracer.set_now(kernel.steps);
+        note(
+            tracer,
+            "cli.exploit",
+            format!(
+                "exploit for {id}: {}",
+                if worked {
+                    "SUCCEEDS (vulnerable)"
+                } else {
+                    "fails"
+                }
+            ),
         );
     }
     let opts = CreateOptions {
@@ -166,37 +248,49 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     } else {
         case.patch_text()
     };
-    let (pack, _) =
-        create_update(case.id, &base_tree(), &patch, &opts).map_err(|e| e.to_string())?;
-    let mut ks = Ksplice::new();
-    ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+    let (pack, _) = create_update_traced(case.id, &base_tree(), &patch, &opts, tracer)
         .map_err(|e| e.to_string())?;
-    println!(
-        "hot update applied: {} function(s) replaced, pause {:?}",
-        pack.replaced_fn_count(),
-        kernel.last_stop_machine.unwrap_or_default()
+    let mut ks = Ksplice::new();
+    let report = ks
+        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), tracer)
+        .map_err(|e| e.to_string())?;
+    note(
+        tracer,
+        "cli.applied",
+        format!(
+            "hot update applied: {} function(s) replaced in {} attempt(s), pause {:?}",
+            pack.replaced_fn_count(),
+            report.attempts,
+            kernel.last_stop_machine.unwrap_or_default()
+        ),
     );
     if case.exploit.is_some() {
         let worked = run_exploit(&mut kernel, &case) == Some(true);
-        println!(
-            "exploit for {id}: {}",
-            if worked {
-                "still succeeds!?"
-            } else {
-                "DEFEATED"
-            }
+        tracer.set_now(kernel.steps);
+        note(
+            tracer,
+            "cli.exploit",
+            format!(
+                "exploit for {id}: {}",
+                if worked {
+                    "still succeeds!?"
+                } else {
+                    "DEFEATED"
+                }
+            ),
         );
     }
-    println!("Done!");
+    note(tracer, "cli.done", "Done!".into());
     Ok(())
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
+fn cmd_eval(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let rounds: u64 = flag_value(args, "--stress")
         .map(|s| s.parse().map_err(|_| "bad --stress value".to_string()))
         .transpose()?
         .unwrap_or(8);
     let report = run_full_evaluation(rounds)?;
+    tracer.count("eval.cases", report.outcomes.len() as u64);
     println!("{}", report.render());
     Ok(())
 }
@@ -221,6 +315,78 @@ fn cmd_list() -> Result<(), String> {
                 .unwrap_or_else(|| "-".into()),
             c.summary
         );
+    }
+    Ok(())
+}
+
+/// Summarises a JSONL trace: per-stage event counts, stop_machine
+/// attempt history, and any recorded mismatches/aborts.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("report: missing trace file")?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_json(line).map_err(|e| format!("{file}:{}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(format!("{file}: no events"));
+    }
+    println!(
+        "trace: {} event(s), steps {}..{}",
+        events.len(),
+        events.first().map(|e| e.ts_steps).unwrap_or(0),
+        events.last().map(|e| e.ts_steps).unwrap_or(0)
+    );
+    for stage in Stage::ALL {
+        let n = events.iter().filter(|e| e.stage == stage).count();
+        if n > 0 {
+            println!("  {:<8} {n} event(s)", stage.as_str());
+        }
+    }
+    let attempts: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.name == "apply.stop_machine" || e.name == "undo.stop_machine")
+        .collect();
+    if !attempts.is_empty() {
+        println!("stop_machine attempts:");
+        for e in attempts {
+            let ok = e.field("ok").and_then(Value::as_bool).unwrap_or(false);
+            let attempt = e.u64_field("attempt").unwrap_or(0);
+            if ok {
+                println!(
+                    "  {} attempt {attempt}: ok (pause {}us)",
+                    e.stage,
+                    e.u64_field("pause_us").unwrap_or(0)
+                );
+            } else {
+                println!(
+                    "  {} attempt {attempt}: busy `{}` (tid {})",
+                    e.stage,
+                    e.str_field("busy_fn").unwrap_or("?"),
+                    e.u64_field("busy_tid").unwrap_or(0)
+                );
+            }
+        }
+    }
+    for e in &events {
+        if e.name == "runpre.mismatch" {
+            println!(
+                "run-pre mismatch: unit {} fn {} pre+{:#x}{}",
+                e.str_field("unit").unwrap_or("?"),
+                e.str_field("function").unwrap_or("?"),
+                e.u64_field("pre_offset").unwrap_or(0),
+                match (e.u64_field("expected_byte"), e.u64_field("actual_byte")) {
+                    (Some(x), Some(a)) => format!(" expected {x:#04x} found {a:#04x}"),
+                    _ => String::new(),
+                }
+            );
+        } else if e.severity == Severity::Error {
+            println!("error: {}", e.render_human());
+        }
     }
     Ok(())
 }

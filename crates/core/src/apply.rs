@@ -17,9 +17,10 @@ use ksplice_asm::Instr;
 use ksplice_kernel::{apply_reloc_at, Kernel, LinkError, LoadedModule};
 use ksplice_lang::HookKind;
 use ksplice_object::{Object, RelocKind, SectionKind};
+use ksplice_trace::{Severity, Stage, Tracer, Value};
 
 use crate::package::UpdatePack;
-use crate::runpre::{match_unit, MatchError, UnitMatch};
+use crate::runpre::{match_unit_traced, MatchError, UnitMatch};
 
 /// Length of the jump trampoline written at a replaced function's entry.
 pub const TRAMPOLINE_LEN: usize = 5;
@@ -97,6 +98,37 @@ impl Default for ApplyOptions {
     }
 }
 
+/// What a successful apply did — the observable shape of the §5 sequence.
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Index of the new entry in [`Ksplice::updates`].
+    pub index: usize,
+    /// Update id applied.
+    pub id: String,
+    /// stop_machine attempts it took to capture the machine quiescent
+    /// (1 = first try).
+    pub attempts: u32,
+    /// Trampolines written.
+    pub sites: usize,
+    /// Kernel step-clock deltas per stage, in pipeline order. Stages that
+    /// never run the kernel (pure bookkeeping) report 0 steps.
+    pub stage_steps: Vec<(&'static str, u64)>,
+}
+
+impl ApplyReport {
+    /// Human-readable multi-line rendering (`ksplice report`).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "update {}: {} site(s) patched after {} stop_machine attempt(s)\n",
+            self.id, self.sites, self.attempts
+        );
+        for (stage, steps) in &self.stage_steps {
+            out.push_str(&format!("  {stage:<16} {steps:>8} steps\n"));
+        }
+        out
+    }
+}
+
 /// Errors from apply.
 #[derive(Debug)]
 pub enum ApplyError {
@@ -108,7 +140,12 @@ pub enum ApplyError {
     /// unique exported symbols.
     Unresolved { unit: String, symbol: String },
     /// The safety check kept failing: some function is non-quiescent.
-    NotQuiescent { fn_name: String, attempts: u32 },
+    NotQuiescent {
+        fn_name: String,
+        /// Thread observed inside the function on the last attempt.
+        tid: u64,
+        attempts: u32,
+    },
     /// A replaced function is too short to hold the trampoline.
     TooShort { fn_name: String, len: u64 },
     /// A hook function failed (non-zero return or oops).
@@ -125,9 +162,13 @@ impl fmt::Display for ApplyError {
             ApplyError::Unresolved { unit, symbol } => {
                 write!(f, "{unit}: cannot resolve `{symbol}` for replacement code")
             }
-            ApplyError::NotQuiescent { fn_name, attempts } => write!(
+            ApplyError::NotQuiescent {
+                fn_name,
+                tid,
+                attempts,
+            } => write!(
                 f,
-                "`{fn_name}` busy on some thread's stack after {attempts} attempts; update abandoned"
+                "`{fn_name}` busy on thread {tid}'s stack after {attempts} attempts; update abandoned"
             ),
             ApplyError::TooShort { fn_name, len } => {
                 write!(f, "`{fn_name}` is only {len} bytes; cannot place trampoline")
@@ -160,7 +201,12 @@ pub enum UndoError {
     /// Unknown update id, or not the most recent live update.
     NotUndoable { id: String, reason: String },
     /// Replacement code still on some stack.
-    NotQuiescent { fn_name: String, attempts: u32 },
+    NotQuiescent {
+        fn_name: String,
+        /// Thread observed inside the function on the last attempt.
+        tid: u64,
+        attempts: u32,
+    },
     /// A reverse hook failed.
     Hook { kind: &'static str, detail: String },
 }
@@ -169,9 +215,13 @@ impl fmt::Display for UndoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UndoError::NotUndoable { id, reason } => write!(f, "cannot undo {id}: {reason}"),
-            UndoError::NotQuiescent { fn_name, attempts } => write!(
+            UndoError::NotQuiescent {
+                fn_name,
+                tid,
+                attempts,
+            } => write!(
                 f,
-                "replacement `{fn_name}` busy after {attempts} attempts; undo abandoned"
+                "replacement `{fn_name}` busy on thread {tid}'s stack after {attempts} attempts; undo abandoned"
             ),
             UndoError::Hook { kind, detail } => write!(f, "{kind} hook failed: {detail}"),
         }
@@ -217,8 +267,35 @@ impl Ksplice {
         pack: &UpdatePack,
         opts: &ApplyOptions,
     ) -> Result<usize, ApplyError> {
+        self.apply_traced(kernel, pack, opts, &mut Tracer::disabled())
+            .map(|r| r.index)
+    }
+
+    /// [`Ksplice::apply`] with the full §5 evidence trail on `tracer`:
+    /// one event per stop_machine attempt (with the blocking thread and
+    /// function on a stack-check rejection), retry delays, trampoline
+    /// writes, and per-stage step timings in the returned [`ApplyReport`].
+    pub fn apply_traced(
+        &mut self,
+        kernel: &mut Kernel,
+        pack: &UpdatePack,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<ApplyReport, ApplyError> {
         self.counter += 1;
         let tag = format!("ksplice{}_{}", self.counter, sanitize(&pack.id));
+        tracer.set_now(kernel.steps);
+        tracer.emit(
+            Stage::Apply,
+            Severity::Info,
+            "apply.start",
+            vec![
+                ("id", pack.id.as_str().into()),
+                ("units", pack.units.len().into()),
+            ],
+        );
+        let mut stage_steps: Vec<(&'static str, u64)> = Vec::new();
+        let mut stage_start = kernel.steps;
 
         // 1. Load helper modules (pre code; invisible to kallsyms so the
         //    matcher cannot mistake them for run code). Kept loaded until
@@ -235,6 +312,8 @@ impl Ksplice {
                 kernel.rmmod(name);
             }
         };
+        stage_steps.push(("load_helpers", kernel.steps - stage_start));
+        stage_start = kernel.steps;
 
         // 2. Run-pre match every affected unit.
         let mut matches: BTreeMap<String, UnitMatch> = BTreeMap::new();
@@ -245,16 +324,28 @@ impl Ksplice {
                     overrides.insert(fn_name.clone(), addr);
                 }
             }
-            match match_unit(kernel, &up.helper, &overrides) {
+            match match_unit_traced(kernel, &up.helper, &overrides, tracer) {
                 Ok(m) => {
                     matches.insert(up.unit.clone(), m);
                 }
                 Err(e) => {
                     unload_helpers(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "runpre".into()),
+                            ("msg", e.to_string().into()),
+                        ],
+                    );
                     return Err(e.into());
                 }
             }
         }
+        stage_steps.push(("runpre", kernel.steps - stage_start));
+        stage_start = kernel.steps;
 
         // 3. Load primary modules and fulfil their deferred relocations
         //    from the recovered bindings.
@@ -270,6 +361,16 @@ impl Ksplice {
                         kernel.rmmod(n);
                     }
                     unload_helpers(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "load_primaries".into()),
+                            ("msg", e.to_string().into()),
+                        ],
+                    );
                     return Err(e.into());
                 }
             };
@@ -286,6 +387,7 @@ impl Ksplice {
         };
         for (unit, loaded, _) in &primaries {
             let um = &matches[unit];
+            let mut fulfilled = 0u64;
             for pending in &loaded.pending {
                 let s = um
                     .bindings
@@ -294,6 +396,18 @@ impl Ksplice {
                     .or_else(|| kernel.syms.lookup_global(&pending.symbol).map(|s| s.addr));
                 let Some(s) = s else {
                     rollback_modules(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "resolve".into()),
+                            ("unit", unit.as_str().into()),
+                            ("symbol", pending.symbol.as_str().into()),
+                            ("msg", "unresolved symbol".into()),
+                        ],
+                    );
                     return Err(ApplyError::Unresolved {
                         unit: unit.clone(),
                         symbol: pending.symbol.clone(),
@@ -307,16 +421,46 @@ impl Ksplice {
                     pending.addend,
                 ) {
                     rollback_modules(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "resolve".into()),
+                            ("msg", e.to_string().into()),
+                        ],
+                    );
                     return Err(ApplyError::Link(e));
                 }
+                fulfilled += 1;
             }
+            tracer.count("apply.relocs_fulfilled", fulfilled);
+            tracer.emit(
+                Stage::Apply,
+                Severity::Debug,
+                "apply.relocs_fulfilled",
+                vec![("unit", unit.as_str().into()), ("count", fulfilled.into())],
+            );
         }
+        stage_steps.push(("load_primaries", kernel.steps - stage_start));
+        stage_start = kernel.steps;
 
         // 4. Resolve hooks from the primary objects' .ksplice.* sections.
         let mut hooks = ResolvedHooks::default();
         for (unit, loaded, obj) in &primaries {
             if let Err(e) = resolve_hooks(kernel, unit, loaded, obj, &matches, &mut hooks) {
                 rollback_modules(kernel);
+                tracer.emit(
+                    Stage::Apply,
+                    Severity::Error,
+                    "apply.abort",
+                    vec![
+                        ("id", pack.id.as_str().into()),
+                        ("stage", "resolve_hooks".into()),
+                        ("msg", e.to_string().into()),
+                    ],
+                );
                 return Err(e);
             }
         }
@@ -328,12 +472,34 @@ impl Ksplice {
             for (sec_name, fn_name) in &up.replaced_fns {
                 let Some(m) = um.fn_addrs.get(fn_name) else {
                     rollback_modules(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "sites".into()),
+                            ("function", fn_name.as_str().into()),
+                            ("msg", "no match entry".into()),
+                        ],
+                    );
                     return Err(ApplyError::MissingMatch {
                         fn_name: fn_name.clone(),
                     });
                 };
                 if m.run_len < TRAMPOLINE_LEN as u64 {
                     rollback_modules(kernel);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "sites".into()),
+                            ("function", fn_name.as_str().into()),
+                            ("msg", "too short for trampoline".into()),
+                        ],
+                    );
                     return Err(ApplyError::TooShort {
                         fn_name: fn_name.clone(),
                         len: m.run_len,
@@ -359,10 +525,35 @@ impl Ksplice {
         }
 
         // 6. pre_apply hooks (ordinary context, may sleep).
+        if !hooks.of(HookKind::PreApply).is_empty() {
+            tracer.emit(
+                Stage::Apply,
+                Severity::Debug,
+                "apply.hooks",
+                vec![
+                    ("kind", "pre_apply".into()),
+                    ("count", hooks.of(HookKind::PreApply).len().into()),
+                ],
+            );
+        }
         if let Err(e) = run_hooks(kernel, &hooks, HookKind::PreApply) {
             rollback_modules(kernel);
+            tracer.set_now(kernel.steps);
+            tracer.emit(
+                Stage::Apply,
+                Severity::Error,
+                "apply.abort",
+                vec![
+                    ("id", pack.id.as_str().into()),
+                    ("stage", "pre_apply_hooks".into()),
+                    ("msg", e.to_string().into()),
+                ],
+            );
             return Err(e);
         }
+        tracer.set_now(kernel.steps);
+        stage_steps.push(("pre_apply_hooks", kernel.steps - stage_start));
+        stage_start = kernel.steps;
 
         // 7. stop_machine + safety check + trampolines, with retries.
         let ranges: Vec<(u64, u64, String)> = sites
@@ -372,9 +563,9 @@ impl Ksplice {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, String> {
-                if let Some(busy) = busy_function(k, &ranges) {
-                    return Err(busy);
+            let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
+                if let Some((tid, fn_name)) = busy_function(k, &ranges) {
+                    return Err(StopError::Busy { tid, fn_name });
                 }
                 // Safe: write every trampoline.
                 let mut saved = Vec::with_capacity(sites.len());
@@ -395,39 +586,110 @@ impl Ksplice {
                         for (site, orig) in sites.iter().zip(&saved) {
                             k.mem.poke(site.site_addr, orig).expect("mapped");
                         }
-                        return Err(format!("apply hook: {detail}"));
+                        return Err(StopError::Hook(format!("apply hook: {detail}")));
                     }
                 }
                 Ok(saved)
             });
+            tracer.set_now(kernel.steps);
+            tracer.count("apply.stop_machine_attempts", 1);
+            let pause_us = kernel
+                .last_stop_machine
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            tracer.observe("apply.pause_us", pause_us);
             match result {
                 Ok(saved) => {
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Info,
+                        "apply.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", true.into()),
+                            ("pause_us", pause_us.into()),
+                        ],
+                    );
                     for (site, buf) in sites.iter_mut().zip(saved) {
                         site.saved = buf;
+                        tracer.emit(
+                            Stage::Apply,
+                            Severity::Debug,
+                            "apply.trampoline",
+                            vec![
+                                ("function", site.fn_name.as_str().into()),
+                                ("site_addr", site.site_addr.into()),
+                                ("target", site.replacement_addr.into()),
+                            ],
+                        );
                     }
+                    tracer.count("apply.trampolines_written", sites.len() as u64);
                     break;
                 }
-                Err(busy) if attempt < opts.max_attempts => {
-                    // "Ksplice tries again after a short delay" (§5.2).
-                    let _ = busy;
-                    kernel.run(opts.retry_delay_steps);
-                }
-                Err(busy) => {
+                Err(e) => {
+                    let (busy_tid, busy_fn, hook_detail) = match &e {
+                        StopError::Busy { tid, fn_name } => (*tid, fn_name.clone(), None),
+                        StopError::Hook(detail) => (0, String::new(), Some(detail.clone())),
+                    };
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Warn,
+                        "apply.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", false.into()),
+                            ("pause_us", pause_us.into()),
+                            ("busy_tid", busy_tid.into()),
+                            (
+                                "busy_fn",
+                                hook_detail
+                                    .clone()
+                                    .unwrap_or_else(|| busy_fn.clone())
+                                    .into(),
+                            ),
+                        ],
+                    );
+                    if attempt < opts.max_attempts && hook_detail.is_none() {
+                        // "Ksplice tries again after a short delay" (§5.2).
+                        tracer.emit(
+                            Stage::Apply,
+                            Severity::Debug,
+                            "apply.retry_delay",
+                            vec![("steps", opts.retry_delay_steps.into())],
+                        );
+                        kernel.run(opts.retry_delay_steps);
+                        tracer.set_now(kernel.steps);
+                        continue;
+                    }
                     rollback_modules(kernel);
-                    return Err(if busy.starts_with("apply hook") {
-                        ApplyError::Hook {
+                    let err = match hook_detail {
+                        Some(detail) => ApplyError::Hook {
                             kind: "ksplice_apply",
-                            detail: busy,
-                        }
-                    } else {
-                        ApplyError::NotQuiescent {
-                            fn_name: busy,
+                            detail,
+                        },
+                        None => ApplyError::NotQuiescent {
+                            fn_name: busy_fn,
+                            tid: busy_tid,
                             attempts: attempt,
-                        }
-                    });
+                        },
+                    };
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Error,
+                        "apply.abort",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("stage", "stop_machine".into()),
+                            ("attempts", attempt.into()),
+                            ("msg", err.to_string().into()),
+                        ],
+                    );
+                    return Err(err);
                 }
             }
         }
+        stage_steps.push(("stop_machine", kernel.steps - stage_start));
+        stage_start = kernel.steps;
 
         // 8. post_apply hooks; then drop the helpers to save memory
         //    (§5.1: "After an update has been applied, its helper module
@@ -435,9 +697,36 @@ impl Ksplice {
         // A post_apply failure is logged, not fatal: the update is live.
         if let Err(e) = run_hooks(kernel, &hooks, HookKind::PostApply) {
             kernel.klog.push(format!("ksplice: {e}"));
+            tracer.set_now(kernel.steps);
+            tracer.emit(
+                Stage::Apply,
+                Severity::Warn,
+                "apply.post_hook_failed",
+                vec![("msg", e.to_string().into())],
+            );
         }
         unload_helpers(kernel);
+        tracer.set_now(kernel.steps);
+        stage_steps.push(("commit", kernel.steps - stage_start));
 
+        let report = ApplyReport {
+            index: self.updates.len(),
+            id: pack.id.clone(),
+            attempts: attempt,
+            sites: sites.len(),
+            stage_steps,
+        };
+        tracer.emit(
+            Stage::Apply,
+            Severity::Info,
+            "apply.committed",
+            vec![
+                ("id", pack.id.as_str().into()),
+                ("sites", report.sites.into()),
+                ("attempts", report.attempts.into()),
+            ],
+        );
+        tracer.count("apply.updates_committed", 1);
         self.updates.push(AppliedUpdate {
             id: pack.id.clone(),
             sites,
@@ -445,7 +734,7 @@ impl Ksplice {
             hooks,
             reversed: false,
         });
-        Ok(self.updates.len() - 1)
+        Ok(report)
     }
 
     /// `ksplice-undo`: reverses the most recent live update.
@@ -458,6 +747,64 @@ impl Ksplice {
         id: &str,
         opts: &ApplyOptions,
     ) -> Result<(), UndoError> {
+        self.undo_traced(kernel, id, opts, &mut Tracer::disabled())
+            .map(|_| ())
+    }
+
+    /// [`Ksplice::undo`] with per-attempt events on `tracer`. Returns the
+    /// number of stop_machine attempts the reversal took.
+    pub fn undo_traced(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<u32, UndoError> {
+        tracer.set_now(kernel.steps);
+        tracer.emit(
+            Stage::Undo,
+            Severity::Info,
+            "undo.start",
+            vec![("id", id.into())],
+        );
+        let result = self.undo_inner(kernel, id, opts, tracer);
+        tracer.set_now(kernel.steps);
+        match &result {
+            Ok(attempts) => {
+                tracer.emit(
+                    Stage::Undo,
+                    Severity::Info,
+                    "undo.committed",
+                    vec![("id", id.into()), ("attempts", (*attempts).into())],
+                );
+                tracer.count("undo.updates_reversed", 1);
+            }
+            Err(e) => {
+                let mut fields: Vec<(&str, Value)> =
+                    vec![("id", id.into()), ("msg", e.to_string().into())];
+                if let UndoError::NotQuiescent {
+                    fn_name,
+                    tid,
+                    attempts,
+                } = e
+                {
+                    fields.push(("busy_fn", fn_name.as_str().into()));
+                    fields.push(("busy_tid", (*tid).into()));
+                    fields.push(("attempts", (*attempts).into()));
+                }
+                tracer.emit(Stage::Undo, Severity::Error, "undo.abort", fields);
+            }
+        }
+        result
+    }
+
+    fn undo_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<u32, UndoError> {
         let Some(latest_live) = self.updates.iter().rposition(|u| !u.reversed) else {
             return Err(UndoError::NotUndoable {
                 id: id.to_string(),
@@ -501,31 +848,97 @@ impl Ksplice {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let result = kernel.stop_machine(|k| -> Result<(), String> {
-                if let Some(busy) = busy_function(k, &ranges) {
-                    return Err(busy);
+            let result = kernel.stop_machine(|k| -> Result<(), StopError> {
+                if let Some((tid, fn_name)) = busy_function(k, &ranges) {
+                    return Err(StopError::Busy { tid, fn_name });
                 }
                 for site in &update.sites {
                     k.mem.poke(site.site_addr, &site.saved).expect("mapped");
                 }
                 for &h in update.hooks.of(HookKind::Reverse) {
                     if let Err(detail) = call_hook(k, h) {
-                        return Err(format!("reverse hook: {detail}"));
+                        return Err(StopError::Hook(format!("reverse hook: {detail}")));
                     }
                 }
                 Ok(())
             });
+            tracer.set_now(kernel.steps);
+            tracer.count("undo.stop_machine_attempts", 1);
+            let pause_us = kernel
+                .last_stop_machine
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            tracer.observe("undo.pause_us", pause_us);
             match result {
-                Ok(()) => break,
-                Err(busy) if attempt < opts.max_attempts => {
-                    let _ = busy;
-                    kernel.run(opts.retry_delay_steps);
+                Ok(()) => {
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Info,
+                        "undo.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", true.into()),
+                            ("pause_us", pause_us.into()),
+                        ],
+                    );
+                    for site in &update.sites {
+                        tracer.emit(
+                            Stage::Undo,
+                            Severity::Debug,
+                            "undo.restored",
+                            vec![
+                                ("function", site.fn_name.as_str().into()),
+                                ("site_addr", site.site_addr.into()),
+                            ],
+                        );
+                    }
+                    break;
                 }
-                Err(busy) => {
-                    return Err(UndoError::NotQuiescent {
-                        fn_name: busy,
-                        attempts: attempt,
-                    })
+                Err(e) => {
+                    let (busy_tid, busy_fn, hook_detail) = match e {
+                        StopError::Busy { tid, fn_name } => (tid, fn_name, None),
+                        StopError::Hook(detail) => (0, String::new(), Some(detail)),
+                    };
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Warn,
+                        "undo.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", false.into()),
+                            ("pause_us", pause_us.into()),
+                            ("busy_tid", busy_tid.into()),
+                            (
+                                "busy_fn",
+                                hook_detail
+                                    .clone()
+                                    .unwrap_or_else(|| busy_fn.clone())
+                                    .into(),
+                            ),
+                        ],
+                    );
+                    if attempt < opts.max_attempts && hook_detail.is_none() {
+                        tracer.emit(
+                            Stage::Undo,
+                            Severity::Debug,
+                            "undo.retry_delay",
+                            vec![("steps", opts.retry_delay_steps.into())],
+                        );
+                        kernel.run(opts.retry_delay_steps);
+                        tracer.set_now(kernel.steps);
+                        continue;
+                    }
+                    return Err(match hook_detail {
+                        Some(detail) => UndoError::Hook {
+                            kind: "ksplice_reverse",
+                            detail,
+                        },
+                        None => UndoError::NotQuiescent {
+                            fn_name: busy_fn,
+                            tid: busy_tid,
+                            attempts: attempt,
+                        },
+                    });
                 }
             }
         }
@@ -534,19 +947,27 @@ impl Ksplice {
             kernel.rmmod(name);
         }
         self.updates[latest_live].reversed = true;
-        Ok(())
+        Ok(attempt)
     }
 }
 
-/// Returns the name of a function some live thread is inside, if any —
-/// the §5.2 safety condition over instruction pointers and return
-/// addresses.
-fn busy_function(kernel: &Kernel, ranges: &[(u64, u64, String)]) -> Option<String> {
-    for (_tid, backtrace) in kernel.all_backtraces() {
+/// Why one stop_machine capture window was abandoned.
+enum StopError {
+    /// The §5.2 stack check found `fn_name` on thread `tid`'s stack.
+    Busy { tid: u64, fn_name: String },
+    /// A stopped-machine hook failed.
+    Hook(String),
+}
+
+/// Returns the thread and name of a function some live thread is inside,
+/// if any — the §5.2 safety condition over instruction pointers and
+/// return addresses.
+fn busy_function(kernel: &Kernel, ranges: &[(u64, u64, String)]) -> Option<(u64, String)> {
+    for (tid, backtrace) in kernel.all_backtraces() {
         for addr in backtrace {
             for (start, len, name) in ranges {
                 if addr >= *start && addr < start + len {
-                    return Some(name.clone());
+                    return Some((tid, name.clone()));
                 }
             }
         }

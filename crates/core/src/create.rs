@@ -12,8 +12,9 @@
 
 use ksplice_lang::{build_tree, Options, SourceTree};
 use ksplice_patch::Patch;
+use ksplice_trace::{Severity, Stage, Tracer};
 
-use crate::differ::{diff_builds, DataChange};
+use crate::differ::{diff_builds_traced, DataChange};
 use crate::package::{build_packs, UpdatePack};
 
 /// Policy knobs for update creation.
@@ -102,33 +103,105 @@ pub fn create_update(
     patch_text: &str,
     opts: &CreateOptions,
 ) -> Result<(UpdatePack, SourceTree), CreateError> {
-    let patch = Patch::parse(patch_text).map_err(CreateError::PatchParse)?;
+    create_update_traced(id, source, patch_text, opts, &mut Tracer::disabled())
+}
+
+/// [`create_update`] with build/diff/package events on `tracer`.
+pub fn create_update_traced(
+    id: &str,
+    source: &SourceTree,
+    patch_text: &str,
+    opts: &CreateOptions,
+    tracer: &mut Tracer,
+) -> Result<(UpdatePack, SourceTree), CreateError> {
+    tracer.emit(
+        Stage::Create,
+        Severity::Info,
+        "create.start",
+        vec![("id", id.into()), ("files", source.len().into())],
+    );
+    let fail = |tracer: &mut Tracer, e: CreateError| {
+        tracer.emit(
+            Stage::Create,
+            Severity::Error,
+            "create.abort",
+            vec![("id", id.into()), ("msg", e.to_string().into())],
+        );
+        e
+    };
+    let patch = match Patch::parse(patch_text).map_err(CreateError::PatchParse) {
+        Ok(p) => p,
+        Err(e) => return Err(fail(tracer, e)),
+    };
     let build_opts = opts.build_options.clone().unwrap_or_else(Options::pre_post);
 
-    let pre = build_tree(source, &build_opts).map_err(|error| CreateError::Compile {
-        phase: "pre",
-        error,
-    })?;
-    let patched = apply_patch_to_tree(source, &patch)?;
-    let post = build_tree(&patched, &build_opts).map_err(|error| CreateError::Compile {
-        phase: "post",
-        error,
-    })?;
+    let pre = match build_tree(source, &build_opts) {
+        Ok(set) => set,
+        Err(error) => {
+            return Err(fail(
+                tracer,
+                CreateError::Compile {
+                    phase: "pre",
+                    error,
+                },
+            ))
+        }
+    };
+    let patched = match apply_patch_to_tree(source, &patch) {
+        Ok(t) => t,
+        Err(e) => return Err(fail(tracer, e)),
+    };
+    let post = match build_tree(&patched, &build_opts) {
+        Ok(set) => set,
+        Err(error) => {
+            return Err(fail(
+                tracer,
+                CreateError::Compile {
+                    phase: "post",
+                    error,
+                },
+            ))
+        }
+    };
+    tracer.emit(
+        Stage::Create,
+        Severity::Debug,
+        "create.built",
+        vec![
+            ("pre_units", pre.len().into()),
+            ("post_units", post.len().into()),
+        ],
+    );
 
-    let diff = diff_builds(&pre, &post);
+    let diff = diff_builds_traced(&pre, &post, tracer);
     if diff.affected().count() == 0 {
-        return Err(CreateError::NoEffect);
+        return Err(fail(tracer, CreateError::NoEffect));
     }
     let data_changes: Vec<(String, DataChange)> = diff
         .data_changes()
         .map(|(u, c)| (u.to_string(), c.clone()))
         .collect();
     if !data_changes.is_empty() && !opts.accept_data_changes {
-        return Err(CreateError::DataSemantics {
-            changes: data_changes,
-        });
+        return Err(fail(
+            tracer,
+            CreateError::DataSemantics {
+                changes: data_changes,
+            },
+        ));
     }
-    Ok((build_packs(id, &pre, &post, &diff), patched))
+    let pack = build_packs(id, &pre, &post, &diff);
+    tracer.emit(
+        Stage::Create,
+        Severity::Info,
+        "create.packaged",
+        vec![
+            ("id", id.into()),
+            ("units", pack.units.len().into()),
+            ("replaced_fns", pack.replaced_fn_count().into()),
+        ],
+    );
+    tracer.count("create.packs_built", 1);
+    Ok((pack, patched))
 }
 
 #[cfg(test)]

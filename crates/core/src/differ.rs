@@ -17,6 +17,7 @@
 //! code (§5.3).
 
 use ksplice_object::{Object, ObjectSet, Section};
+use ksplice_trace::{Severity, Stage, Tracer};
 
 /// Why a data section was flagged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,70 @@ impl BuildDiff {
 
 /// Compares a whole pre build against a post build.
 pub fn diff_builds(pre: &ObjectSet, post: &ObjectSet) -> BuildDiff {
+    diff_builds_traced(pre, post, &mut Tracer::disabled())
+}
+
+/// [`diff_builds`] with per-unit decision events on `tracer`.
+///
+/// Emits one `differ.unit` event per affected unit (which functions
+/// became replacement code and why), a `differ.data_change` warning per
+/// flagged persistent-data hazard, and accumulates the
+/// `differ.units_changed` / `differ.fns_changed` counters.
+pub fn diff_builds_traced(pre: &ObjectSet, post: &ObjectSet, tracer: &mut Tracer) -> BuildDiff {
+    let diff = diff_builds_inner(pre, post);
+    if tracer.is_enabled() {
+        for u in diff.affected() {
+            tracer.emit(
+                Stage::Differ,
+                Severity::Info,
+                "differ.unit",
+                vec![
+                    ("unit", u.unit.as_str().into()),
+                    ("changed_fns", u.changed_fns.len().into()),
+                    ("new_fns", u.new_fns.len().into()),
+                    ("removed_fns", u.removed_fns.len().into()),
+                    ("new_data", u.new_data.len().into()),
+                ],
+            );
+            for f in &u.changed_fns {
+                let new = u.new_fns.contains(f);
+                tracer.emit(
+                    Stage::Differ,
+                    Severity::Debug,
+                    "differ.replace_fn",
+                    vec![
+                        ("unit", u.unit.as_str().into()),
+                        ("section", f.as_str().into()),
+                        ("new", new.into()),
+                    ],
+                );
+            }
+            for c in &u.data_changes {
+                let kind = match c.kind {
+                    DataChangeKind::InitChanged => "init_changed".to_string(),
+                    DataChangeKind::SizeChanged { pre, post } => {
+                        format!("size_changed {pre}->{post}")
+                    }
+                };
+                tracer.emit(
+                    Stage::Differ,
+                    Severity::Warn,
+                    "differ.data_change",
+                    vec![
+                        ("unit", u.unit.as_str().into()),
+                        ("section", c.section.as_str().into()),
+                        ("kind", kind.into()),
+                    ],
+                );
+            }
+        }
+        tracer.count("differ.units_changed", diff.affected().count() as u64);
+        tracer.count("differ.fns_changed", diff.changed_fn_count() as u64);
+    }
+    diff
+}
+
+fn diff_builds_inner(pre: &ObjectSet, post: &ObjectSet) -> BuildDiff {
     let mut units = Vec::new();
     for (name, post_obj) in post.iter() {
         match pre.get(name) {

@@ -61,11 +61,23 @@ pub mod runpre;
 pub mod stream;
 
 pub use apply::{
-    AppliedUpdate, ApplyError, ApplyOptions, Ksplice, PatchSite, ResolvedHooks, UndoError,
-    TRAMPOLINE_LEN,
+    AppliedUpdate, ApplyError, ApplyOptions, ApplyReport, Ksplice, PatchSite, ResolvedHooks,
+    UndoError, TRAMPOLINE_LEN,
 };
-pub use create::{apply_patch_to_tree, create_update, CreateError, CreateOptions};
-pub use differ::{diff_builds, diff_unit, BuildDiff, DataChange, DataChangeKind, UnitDiff};
+pub use create::{
+    apply_patch_to_tree, create_update, create_update_traced, CreateError, CreateOptions,
+};
+pub use differ::{
+    diff_builds, diff_builds_traced, diff_unit, BuildDiff, DataChange, DataChangeKind, UnitDiff,
+};
 pub use package::{build_packs, extract_primary, UnitPack, UpdatePack};
-pub use runpre::{match_function, match_unit, FnMatch, MatchError, UnitMatch};
+pub use runpre::{
+    match_function, match_function_traced, match_unit, match_unit_traced, FnMatch, MatchError,
+    UnitMatch,
+};
 pub use stream::{replay_sources, StreamError, Subscriber, UpdateStream};
+
+// The observability layer, re-exported so downstreams need not depend on
+// `ksplice-trace` directly to drive the `_traced` entry points.
+pub use ksplice_trace as trace;
+pub use ksplice_trace::Tracer;

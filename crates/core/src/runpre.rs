@@ -24,6 +24,7 @@ use std::fmt;
 use ksplice_asm::{branch_info, decode_len, nop_len_at, REL32_ADDEND};
 use ksplice_kernel::Kernel;
 use ksplice_object::{reloc::read_field, reloc::recover_symbol_value, Object, Reloc, Section};
+use ksplice_trace::{Severity, Stage, Tracer, Value};
 
 /// A matched function: where its run code lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,11 +56,17 @@ pub enum MatchError {
     NoCandidate { function: String },
     /// The pre code did not match the run code at any candidate.
     Mismatch {
+        /// Optimisation unit the pre function belongs to.
+        unit: String,
         function: String,
         /// Candidate run address that got furthest.
         run_addr: u64,
         /// Offset within the pre section where matching failed.
         pre_offset: u64,
+        /// `(expected pre byte, actual run byte)` when the failure was a
+        /// plain byte comparison; `None` for structural failures
+        /// (undecodable instruction, branch shape, length).
+        bytes: Option<(u8, u8)>,
         reason: String,
     },
     /// More than one candidate matched and nothing disambiguated them.
@@ -80,15 +87,26 @@ impl fmt::Display for MatchError {
                 write!(f, "no run candidate for `{function}`")
             }
             MatchError::Mismatch {
+                unit,
                 function,
                 run_addr,
                 pre_offset,
+                bytes,
                 reason,
+            } => {
+                write!(
+                    f,
+                    "run-pre mismatch in `{function}` ({unit}) at pre+{pre_offset:#x} (run {run_addr:#x}): {reason}"
+                )?;
+                if let Some((expected, actual)) = bytes {
+                    write!(f, " [expected {expected:#04x}, found {actual:#04x}]")?;
+                }
+                Ok(())
+            }
+            MatchError::Ambiguous {
+                function,
+                candidates,
             } => write!(
-                f,
-                "run-pre mismatch in `{function}` at pre+{pre_offset:#x} (run {run_addr:#x}): {reason}"
-            ),
-            MatchError::Ambiguous { function, candidates } => write!(
                 f,
                 "`{function}` matches {} run locations ambiguously",
                 candidates.len()
@@ -114,6 +132,83 @@ pub fn match_unit(
     kernel: &Kernel,
     pre: &Object,
     overrides: &BTreeMap<String, u64>,
+) -> Result<UnitMatch, MatchError> {
+    match_unit_traced(kernel, pre, overrides, &mut Tracer::disabled())
+}
+
+/// [`match_unit`] with match-progress events on `tracer`.
+///
+/// Per-candidate walk failures are Debug events (trying several
+/// same-named kallsyms candidates is normal, §4.1); only a failure of
+/// the whole unit emits an Error event — a clean apply leaks no
+/// Warn/Error events. On `runpre.mismatch` the event carries the unit,
+/// function, byte offset and (for byte-compare failures) the expected
+/// and actual bytes.
+pub fn match_unit_traced(
+    kernel: &Kernel,
+    pre: &Object,
+    overrides: &BTreeMap<String, u64>,
+    tracer: &mut Tracer,
+) -> Result<UnitMatch, MatchError> {
+    tracer.set_now(kernel.steps);
+    tracer.emit(
+        Stage::RunPre,
+        Severity::Info,
+        "runpre.unit_start",
+        vec![
+            ("unit", pre.name.as_str().into()),
+            ("overrides", overrides.len().into()),
+        ],
+    );
+    let result = match_unit_inner(kernel, pre, overrides, tracer);
+    match &result {
+        Ok(m) => {
+            tracer.emit(
+                Stage::RunPre,
+                Severity::Info,
+                "runpre.unit_matched",
+                vec![
+                    ("unit", m.unit.as_str().into()),
+                    ("functions", m.fn_addrs.len().into()),
+                    ("bindings", m.bindings.len().into()),
+                ],
+            );
+            tracer.count("runpre.units_matched", 1);
+            tracer.count("runpre.symbols_recovered", m.bindings.len() as u64);
+        }
+        Err(e) => {
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("unit", pre.name.as_str().into()),
+                ("msg", e.to_string().into()),
+            ];
+            if let MatchError::Mismatch {
+                function,
+                run_addr,
+                pre_offset,
+                bytes,
+                ..
+            } = e
+            {
+                fields.push(("function", function.as_str().into()));
+                fields.push(("run_addr", (*run_addr).into()));
+                fields.push(("pre_offset", (*pre_offset).into()));
+                if let Some((expected, actual)) = bytes {
+                    fields.push(("expected_byte", (*expected as u64).into()));
+                    fields.push(("actual_byte", (*actual as u64).into()));
+                }
+            }
+            tracer.emit(Stage::RunPre, Severity::Error, "runpre.mismatch", fields);
+            tracer.count("runpre.units_aborted", 1);
+        }
+    }
+    result
+}
+
+fn match_unit_inner(
+    kernel: &Kernel,
+    pre: &Object,
+    overrides: &BTreeMap<String, u64>,
+    tracer: &mut Tracer,
 ) -> Result<UnitMatch, MatchError> {
     // Collect the pre functions: (symbol name, section).
     let mut functions: Vec<(&str, &Section)> = Vec::new();
@@ -155,13 +250,38 @@ pub fn match_unit(
         let mut ok = Vec::new();
         let mut best_err: Option<MatchError> = None;
         for addr in candidates {
-            match match_function(kernel, pre, sec, addr) {
-                Ok((run_len, recovered)) => ok.push(Candidate {
-                    addr,
-                    run_len,
-                    recovered,
-                }),
+            match match_function_traced(kernel, pre, sec, addr, tracer) {
+                Ok((run_len, recovered)) => {
+                    tracer.emit(
+                        Stage::RunPre,
+                        Severity::Debug,
+                        "runpre.candidate_matched",
+                        vec![
+                            ("function", (*name).into()),
+                            ("run_addr", addr.into()),
+                            ("run_len", run_len.into()),
+                            ("recovered", recovered.len().into()),
+                        ],
+                    );
+                    ok.push(Candidate {
+                        addr,
+                        run_len,
+                        recovered,
+                    })
+                }
                 Err(e) => {
+                    // Normal when kallsyms has several same-named
+                    // candidates: only whole-unit failure is an error.
+                    tracer.emit(
+                        Stage::RunPre,
+                        Severity::Debug,
+                        "runpre.candidate_rejected",
+                        vec![
+                            ("function", (*name).into()),
+                            ("run_addr", addr.into()),
+                            ("msg", e.to_string().into()),
+                        ],
+                    );
                     if best_err.is_none() {
                         best_err = Some(e);
                     }
@@ -259,15 +379,30 @@ pub fn match_function(
     pre: &Section,
     run_addr: u64,
 ) -> Result<(u64, Vec<(String, u64)>), MatchError> {
+    match_function_traced(kernel, pre_obj, pre, run_addr, &mut Tracer::disabled())
+}
+
+/// [`match_function`] recording walk metrics on `tracer`: bytes walked,
+/// alignment no-ops skipped on either side, PC-relative equivalence
+/// checks performed, and relocation values recovered.
+pub fn match_function_traced(
+    kernel: &Kernel,
+    pre_obj: &Object,
+    pre: &Section,
+    run_addr: u64,
+    tracer: &mut Tracer,
+) -> Result<(u64, Vec<(String, u64)>), MatchError> {
     let fn_name = pre
         .name
         .strip_prefix(".text.")
         .unwrap_or(&pre.name)
         .to_string();
     let mismatch = |pre_off: u64, reason: String| MatchError::Mismatch {
+        unit: pre_obj.name.clone(),
         function: fn_name.clone(),
         run_addr,
         pre_offset: pre_off,
+        bytes: None,
         reason,
     };
     // Relocations indexed by the offset of their field.
@@ -300,6 +435,7 @@ pub fn match_function(
         // Skip alignment no-ops on both sides independently (§4.3).
         while let Some(n) = nop_len_at(&pre.data, pre_off) {
             pre_off += n;
+            tracer.count("runpre.nops_skipped", 1);
             if pre_off >= pre_len {
                 break;
             }
@@ -309,6 +445,7 @@ pub fn match_function(
         }
         while let Some(n) = nop_len_at(run_bytes, run_off) {
             run_off += n;
+            tracer.count("runpre.nops_skipped", 1);
         }
         offset_map.insert(pre_off as u64, run_off as u64);
 
@@ -324,6 +461,7 @@ pub fn match_function(
 
         match (pre_branch, run_branch) {
             (Some(pb), Some(rb)) => {
+                tracer.count("runpre.pcrel_checks", 1);
                 if pb.cond != rb.cond || pb.is_call != rb.is_call {
                     return Err(mismatch(
                         pre_off as u64,
@@ -370,14 +508,18 @@ pub fn match_function(
                 }
                 for i in 0..pre_instr_len {
                     if !field_mask[i] && pre.data[pre_off + i] != run_bytes[run_off + i] {
-                        return Err(mismatch(
-                            (pre_off + i) as u64,
-                            format!(
+                        return Err(MatchError::Mismatch {
+                            unit: pre_obj.name.clone(),
+                            function: fn_name.clone(),
+                            run_addr,
+                            pre_offset: (pre_off + i) as u64,
+                            bytes: Some((pre.data[pre_off + i], run_bytes[run_off + i])),
+                            reason: format!(
                                 "byte {:#04x} differs from run byte {:#04x}",
                                 pre.data[pre_off + i],
                                 run_bytes[run_off + i]
                             ),
-                        ));
+                        });
                     }
                 }
                 for r in relocs {
@@ -428,7 +570,10 @@ pub fn match_function(
                 ),
             ));
         }
+        tracer.count("runpre.pcrel_checks", 1);
     }
+    tracer.count("runpre.bytes_matched", run_off as u64);
+    tracer.count("runpre.relocs_recovered", recovered.len() as u64);
     Ok((run_off as u64, recovered))
 }
 

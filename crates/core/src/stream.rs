@@ -15,9 +15,10 @@
 use ksplice_kernel::Kernel;
 use ksplice_lang::SourceTree;
 use ksplice_patch::Patch;
+use ksplice_trace::{Severity, Stage, Tracer};
 
 use crate::apply::{ApplyError, ApplyOptions, Ksplice, UndoError};
-use crate::create::{apply_patch_to_tree, create_update, CreateError, CreateOptions};
+use crate::create::{apply_patch_to_tree, create_update_traced, CreateError, CreateOptions};
 use crate::package::UpdatePack;
 
 /// A distributor's ordered channel of hot updates for one base kernel
@@ -81,11 +82,28 @@ impl UpdateStream {
         patch_text: &str,
         opts: &CreateOptions,
     ) -> Result<&UpdatePack, StreamError> {
+        self.publish_traced(id, patch_text, opts, &mut Tracer::disabled())
+    }
+
+    /// [`UpdateStream::publish`] with authoring events on `tracer`.
+    pub fn publish_traced(
+        &mut self,
+        id: &str,
+        patch_text: &str,
+        opts: &CreateOptions,
+        tracer: &mut Tracer,
+    ) -> Result<&UpdatePack, StreamError> {
         let source = self.head_source.as_ref().expect("stream has a head source");
-        let (pack, patched) =
-            create_update(id, source, patch_text, opts).map_err(StreamError::Create)?;
+        let (pack, patched) = create_update_traced(id, source, patch_text, opts, tracer)
+            .map_err(StreamError::Create)?;
         self.head_source = Some(patched);
         self.packs.push(pack);
+        tracer.emit(
+            Stage::Stream,
+            Severity::Info,
+            "stream.published",
+            vec![("id", id.into()), ("level", self.packs.len().into())],
+        );
         Ok(self.packs.last().expect("just pushed"))
     }
 
@@ -190,15 +208,47 @@ impl Subscriber {
         stream: &UpdateStream,
         opts: &ApplyOptions,
     ) -> Result<usize, StreamError> {
+        self.sync_traced(kernel, stream, opts, &mut Tracer::disabled())
+    }
+
+    /// [`Subscriber::sync`] with per-pack apply events on `tracer`.
+    pub fn sync_traced(
+        &mut self,
+        kernel: &mut Kernel,
+        stream: &UpdateStream,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<usize, StreamError> {
         let missing = stream.missing_from(self.level)?;
+        tracer.set_now(kernel.steps);
+        tracer.emit(
+            Stage::Stream,
+            Severity::Info,
+            "stream.sync_start",
+            vec![
+                ("level", self.level.into()),
+                ("head", stream.head().into()),
+                ("missing", missing.len().into()),
+            ],
+        );
         let mut applied = 0;
         for pack in missing {
             self.ksplice
-                .apply(kernel, pack, opts)
+                .apply_traced(kernel, pack, opts, tracer)
                 .map_err(StreamError::Apply)?;
             self.level += 1;
             applied += 1;
+            tracer.emit(
+                Stage::Stream,
+                Severity::Info,
+                "stream.level_reached",
+                vec![
+                    ("id", pack.id.as_str().into()),
+                    ("level", self.level.into()),
+                ],
+            );
         }
+        tracer.count("stream.packs_applied", applied as u64);
         Ok(applied)
     }
 
@@ -210,12 +260,33 @@ impl Subscriber {
         target_level: usize,
         opts: &ApplyOptions,
     ) -> Result<(), StreamError> {
+        self.rollback_to_traced(kernel, stream, target_level, opts, &mut Tracer::disabled())
+    }
+
+    /// [`Subscriber::rollback_to`] with per-level undo events on `tracer`.
+    pub fn rollback_to_traced(
+        &mut self,
+        kernel: &mut Kernel,
+        stream: &UpdateStream,
+        target_level: usize,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<(), StreamError> {
         while self.level > target_level {
             let pack = &stream.packs[self.level - 1];
             self.ksplice
-                .undo(kernel, &pack.id, opts)
+                .undo_traced(kernel, &pack.id, opts, tracer)
                 .map_err(StreamError::Undo)?;
             self.level -= 1;
+            tracer.emit(
+                Stage::Stream,
+                Severity::Info,
+                "stream.rolled_back",
+                vec![
+                    ("id", pack.id.as_str().into()),
+                    ("level", self.level.into()),
+                ],
+            );
         }
         Ok(())
     }

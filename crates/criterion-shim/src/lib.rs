@@ -1,0 +1,195 @@
+//! A drop-in subset of the `criterion` bench API.
+//!
+//! The build environment has no registry access, so the real criterion
+//! crate cannot be resolved. The bench suite only needs a small surface —
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` with throughput, `Bencher::iter`/`iter_batched`, and
+//! the `criterion_group!`/`criterion_main!` macros — which this crate
+//! provides with a plain timing loop: warm up once, run `sample_size`
+//! samples, report min/mean/max (plus throughput when configured).
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing for `iter_batched`; the shim treats every variant as
+/// per-iteration (fresh input each sample), which is the conservative
+/// choice and the only variant the suite uses.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` input per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, durations: &[Duration], throughput: Option<Throughput>) {
+    if durations.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let max = durations.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name}: mean {mean:?} [min {min:?}, max {max:?}] over {} samples{rate}",
+        durations.len()
+    );
+}
+
+/// The bench driver: a registry of named timing loops.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each bench takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b.durations, None);
+        self
+    }
+
+    /// Opens a named group (throughput-aware benches).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benches sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.c.sample_size);
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            &b.durations,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group: either the struct form
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`
+/// or the simple form `criterion_group!(benches, a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

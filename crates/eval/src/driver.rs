@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice};
+use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice, Tracer};
 use ksplice_kernel::Kernel;
 use ksplice_lang::Options;
 use ksplice_patch::Patch;
@@ -41,6 +41,8 @@ pub struct CveOutcome {
     pub undo_ok: bool,
     /// stop_machine pause for the apply (paper: ~0.7 ms).
     pub pause: Duration,
+    /// stop_machine attempts before the safety check passed (§5.2).
+    pub attempts: u32,
     pub helper_bytes: usize,
     pub primary_bytes: usize,
 }
@@ -83,7 +85,13 @@ pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
     };
 
     let mut ks = Ksplice::new();
-    ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+    let report = ks
+        .apply_traced(
+            &mut kernel,
+            &pack,
+            &ApplyOptions::default(),
+            &mut Tracer::disabled(),
+        )
         .map_err(|e| format!("{}: apply: {e}", case.id))?;
     let pause = kernel.last_stop_machine.unwrap_or_default();
 
@@ -108,6 +116,7 @@ pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
         exploit_after,
         undo_ok,
         pause,
+        attempts: report.attempts,
         helper_bytes: pack.helper_size(),
         primary_bytes: pack.primary_size(),
     })
@@ -217,6 +226,11 @@ impl EvalReport {
             s,
             "max stop_machine pause:           {:?} (paper: ~0.7 ms)",
             max_pause
+        );
+        let max_attempts = self.outcomes.iter().map(|o| o.attempts).max().unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "max stop_machine attempts:        {max_attempts} (quiescence retries, §5.2)"
         );
         let _ = writeln!(s, "\n-- Figure 3: number of patches by patch length --");
         for (bucket, n) in self.figure3() {

@@ -86,6 +86,9 @@ pub struct Kernel {
     pub klog: Vec<String>,
     /// Scheduler tick counter.
     pub ticks: u64,
+    /// Total instructions executed across all threads — the step clock
+    /// that timestamps trace events (`Event::ts_steps`).
+    pub steps: u64,
     /// All oopses so far (the kernel limps on, like a real one).
     pub oopses: Vec<Oops>,
     /// Loaded boot-image units and run-time modules.
@@ -137,6 +140,7 @@ impl Kernel {
             next_tid: 1,
             klog: Vec::new(),
             ticks: 0,
+            steps: 0,
             oopses: Vec::new(),
             modules,
             free_list: vec![(heap_base, 8 * 1024 * 1024)],

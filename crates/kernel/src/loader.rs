@@ -119,16 +119,15 @@ fn perms_for(sec: &ksplice_object::Section) -> Perms {
 
 /// Allocates and copies one object's alloc sections; defines its symbols.
 /// Relocations are **not** applied here.
+/// Placed sections: name → (address, size).
+type PlacedSections = BTreeMap<String, (u64, u64)>;
+/// Defined symbols: (name, address, is_global, is_func, size).
+type PlacedSymbols = Vec<(String, u64, bool, bool, u64)>;
+
 fn place_object(
     mem: &mut Memory,
     obj: &Object,
-) -> Result<
-    (
-        BTreeMap<String, (u64, u64)>,
-        Vec<(String, u64, bool, bool, u64)>,
-    ),
-    LinkError,
-> {
+) -> Result<(PlacedSections, PlacedSymbols), LinkError> {
     let mut sections = BTreeMap::new();
     for sec in &obj.sections {
         if !sec.is_alloc() || sec.kind == SectionKind::Note {

@@ -89,7 +89,7 @@ pub fn native_from_addr(addr: u64) -> Option<Native> {
         return None;
     }
     let idx = (addr - NATIVE_BASE) / 16;
-    if (addr - NATIVE_BASE) % 16 != 0 {
+    if !(addr - NATIVE_BASE).is_multiple_of(16) {
         return None;
     }
     TABLE.get(idx as usize).map(|(_, f)| *f)

@@ -33,6 +33,7 @@ impl Kernel {
                 }
             }
         }
+        self.steps += used;
         used
     }
 

@@ -11,7 +11,8 @@ fn boot(src: &str) -> Kernel {
 
 #[test]
 fn shift_counts_mask_like_hardware() {
-    let mut k = boot("int f(int a, int n) { return a << n; }\nint g(int a, int n) { return a >> n; }");
+    let mut k =
+        boot("int f(int a, int n) { return a << n; }\nint g(int a, int n) { return a >> n; }");
     // Shift counts are masked to 6 bits, like x86-64.
     assert_eq!(k.call_function("f", &[1, 64]).unwrap(), 1);
     assert_eq!(k.call_function("f", &[1, 65]).unwrap(), 2);
@@ -22,8 +23,14 @@ fn shift_counts_mask_like_hardware() {
 fn negative_division_truncates_toward_zero() {
     let mut k =
         boot("int d(int a, int b) { return a / b; }\nint m(int a, int b) { return a % b; }");
-    assert_eq!(k.call_function("d", &[(-7i64) as u64, 2]).unwrap() as i64, -3);
-    assert_eq!(k.call_function("m", &[(-7i64) as u64, 2]).unwrap() as i64, -1);
+    assert_eq!(
+        k.call_function("d", &[(-7i64) as u64, 2]).unwrap() as i64,
+        -3
+    );
+    assert_eq!(
+        k.call_function("m", &[(-7i64) as u64, 2]).unwrap() as i64,
+        -1
+    );
 }
 
 #[test]
@@ -32,10 +39,7 @@ fn indirect_call_to_garbage_oopses_not_panics() {
     let err = k.call_function("f", &[0x1234]).unwrap_err();
     assert!(err.to_string().contains("oops"), "{err}");
     // Indirect call into a data region is a W^X violation.
-    let data = k
-        .mem
-        .alloc_region("trap", 64, 16, Perms::DATA)
-        .unwrap();
+    let data = k.mem.alloc_region("trap", 64, 16, Perms::DATA).unwrap();
     let err = k.call_function("f", &[data]).unwrap_err();
     assert!(err.to_string().contains("non-executable"), "{err}");
 }

@@ -658,10 +658,12 @@ impl FuncGen<'_, '_> {
         fn walk(g: &Gen<'_>, body: &[Stmt], total: &mut u64) {
             for s in body {
                 match &s.kind {
-                    StmtKind::Decl { ty, is_static, .. } => {
-                        if !is_static {
-                            *total += round_up(g.sema.size_of(ty).max(WORD), WORD);
-                        }
+                    StmtKind::Decl {
+                        ty,
+                        is_static: false,
+                        ..
+                    } => {
+                        *total += round_up(g.sema.size_of(ty).max(WORD), WORD);
                     }
                     StmtKind::If {
                         then_body,

@@ -207,11 +207,8 @@ impl Checker {
         for item in &unit.items {
             match item {
                 FileItem::Func(f) => {
-                    if sema
-                        .functions
-                        .insert(f.name.clone(), f.params.len())
-                        .is_some()
-                    {
+                    let prev = sema.functions.insert(f.name.clone(), f.params.len());
+                    if prev.is_some() {
                         return Err(CompileError::new(
                             &uname,
                             f.line,
@@ -220,7 +217,8 @@ impl Checker {
                     }
                 }
                 FileItem::Global(g) => {
-                    if sema.globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+                    let prev = sema.globals.insert(g.name.clone(), g.ty.clone());
+                    if prev.is_some() {
                         return Err(CompileError::new(
                             &uname,
                             g.line,

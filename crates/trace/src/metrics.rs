@@ -1,0 +1,183 @@
+//! Counters and power-of-two histograms.
+
+use std::collections::BTreeMap;
+
+/// Named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    table: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.table.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    pub fn get(&self, name: &str) -> u64 {
+        self.table.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.table.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// A histogram over u64 observations with power-of-two buckets: bucket
+/// `i` counts values whose bit length is `i` (bucket 0 holds zeros).
+/// Constant memory, O(1) record, good enough resolution for step counts
+/// and microsecond pauses.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize; // bit length
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(lower_bound_inclusive, count)`.
+    pub fn occupied(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+
+    /// JSON object with the summary stats and occupied buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .occupied()
+            .iter()
+            .map(|(lo, n)| format!("[{lo},{n}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"buckets\":\"{}\"}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.mean(),
+            buckets.join(" ")
+        )
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} min={} mean={:.1} max={} sum={}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.max,
+            self.sum
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let mut c = Counters::new();
+        c.add("x", 2);
+        c.add("x", 3);
+        c.add("y", 1);
+        assert_eq!(c.get("x"), 5);
+        assert_eq!(c.get("y"), 1);
+        assert_eq!(c.get("absent"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1010);
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1000 → [512,1024).
+        assert_eq!(h.occupied(), vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().contains("\"count\":0"));
+    }
+}

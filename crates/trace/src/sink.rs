@@ -1,0 +1,242 @@
+//! Event sinks: ring buffer, JSONL writer, human renderer.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, Severity};
+
+/// Where events go. Implementations must be cheap: `record` runs inside
+/// the pipeline, including between stop_machine attempts.
+pub trait Sink {
+    fn record(&mut self, event: &Event);
+    fn flush(&mut self) {}
+}
+
+/// A bounded in-memory buffer that drops the oldest events once full —
+/// the always-on flight recorder. Reads go through the shared
+/// [`RingHandle`], which stays valid after the sink is boxed into a
+/// tracer.
+pub struct RingSink {
+    capacity: usize,
+    buf: Arc<Mutex<VecDeque<Event>>>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A shared read handle to the buffer.
+    pub fn handle(&self) -> RingHandle {
+        RingHandle {
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.buf.lock().expect("ring lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Shared reader for a [`RingSink`]'s contents.
+#[derive(Clone)]
+pub struct RingHandle {
+    buf: Arc<Mutex<VecDeque<Event>>>,
+}
+
+impl RingHandle {
+    /// A snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events whose name matches exactly.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+
+    /// Events at or above a severity.
+    pub fn at_least(&self, severity: Severity) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.severity >= severity)
+            .collect()
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&self) {
+        self.buf.lock().expect("ring lock").clear();
+    }
+}
+
+/// Writes one JSON object per line — the `--trace <path>` format.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates/truncates a JSONL trace file.
+    pub fn create(path: &std::path::Path) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(w: W) -> JsonlSink<W> {
+        JsonlSink { w }
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // A failing trace file must not abort the update itself.
+        let _ = writeln!(self.w, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Severity-filtered human-readable renderer — the `--verbose`/default
+/// console output.
+pub struct HumanSink<W: Write> {
+    w: W,
+    min_severity: Severity,
+}
+
+impl HumanSink<io::Stdout> {
+    pub fn stdout(min_severity: Severity) -> HumanSink<io::Stdout> {
+        HumanSink {
+            w: io::stdout(),
+            min_severity,
+        }
+    }
+}
+
+impl HumanSink<io::Stderr> {
+    pub fn stderr(min_severity: Severity) -> HumanSink<io::Stderr> {
+        HumanSink {
+            w: io::stderr(),
+            min_severity,
+        }
+    }
+}
+
+impl<W: Write> HumanSink<W> {
+    pub fn new(w: W, min_severity: Severity) -> HumanSink<W> {
+        HumanSink { w, min_severity }
+    }
+}
+
+impl<W: Write> Sink for HumanSink<W> {
+    fn record(&mut self, event: &Event) {
+        if event.severity >= self.min_severity {
+            let _ = writeln!(self.w, "{}", event.render_human());
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Stage, Value};
+
+    fn event(seq: u64, severity: Severity) -> Event {
+        Event {
+            seq,
+            ts_steps: seq * 10,
+            stage: Stage::Apply,
+            severity,
+            name: format!("e{seq}"),
+            fields: vec![("n".to_string(), Value::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let mut ring = RingSink::new(3);
+        let h = ring.handle();
+        for i in 1..=5 {
+            ring.record(&event(i, Severity::Info));
+        }
+        let names: Vec<String> = h.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e3", "e4", "e5"]);
+        assert_eq!(h.len(), 3);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn ring_handle_filters() {
+        let mut ring = RingSink::new(10);
+        let h = ring.handle();
+        ring.record(&event(1, Severity::Debug));
+        ring.record(&event(2, Severity::Error));
+        assert_eq!(h.at_least(Severity::Warn).len(), 1);
+        assert_eq!(h.named("e1").len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut out = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut out);
+            sink.record(&event(1, Severity::Info));
+            sink.record(&event(2, Severity::Warn));
+            sink.flush();
+        }
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Event::from_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn human_sink_filters_below_min_severity() {
+        let mut out = Vec::new();
+        {
+            let mut sink = HumanSink::new(&mut out, Severity::Warn);
+            sink.record(&event(1, Severity::Debug));
+            sink.record(&event(2, Severity::Error));
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("e1"));
+        assert!(text.contains("e2"));
+    }
+}
