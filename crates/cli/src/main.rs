@@ -6,7 +6,7 @@
 //! ksplice create --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out pack.kupd]
 //! ksplice inspect <pack.kupd>
 //! ksplice demo   [--cve <id>]           # boot, exploit, hot-patch, re-exploit
-//! ksplice eval   [--stress <rounds>]    # the full §6 evaluation
+//! ksplice eval   [--stress <rounds>] [--jobs <n>]   # the full §6 evaluation
 //! ksplice list                          # the 64-CVE corpus
 //! ksplice report <trace.jsonl>          # summarise a recorded trace
 //! ```
@@ -30,7 +30,7 @@ use std::process::ExitCode;
 
 use ksplice_core::trace::{Event, HumanSink, JsonlSink, Severity, Stage, Tracer, Value};
 use ksplice_core::{create_update_traced, ApplyOptions, CreateOptions, Ksplice, UpdatePack};
-use ksplice_eval::{base_tree, corpus, run_exploit, run_full_evaluation};
+use ksplice_eval::{base_tree, corpus, run_exploit};
 use ksplice_kernel::Kernel;
 use ksplice_lang::{Options, SourceTree};
 
@@ -77,7 +77,7 @@ fn main() -> ExitCode {
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>]\
-                 \n  eval    [--stress <rounds>]\
+                 \n  eval    [--stress <rounds>] [--jobs <n>]\
                  \n  list\
                  \n  report  <trace.jsonl>"
             );
@@ -289,7 +289,14 @@ fn cmd_eval(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --stress value".to_string()))
         .transpose()?
         .unwrap_or(8);
-    let report = run_full_evaluation(rounds)?;
+    let jobs: usize = flag_value(args, "--jobs")
+        .map(|s| s.parse().map_err(|_| "bad --jobs value".to_string()))
+        .transpose()?
+        .unwrap_or_else(ksplice_eval::default_eval_jobs);
+    if jobs == 0 {
+        return Err("bad --jobs value".to_string());
+    }
+    let report = ksplice_eval::run_full_evaluation_traced(rounds, jobs, tracer)?;
     tracer.count("eval.cases", report.outcomes.len() as u64);
     println!("{}", report.render());
     Ok(())

@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 use ksplice_asm::Instr;
 use ksplice_kernel::{apply_reloc_at, Kernel, LinkError, LoadedModule};
@@ -108,6 +109,11 @@ pub struct ApplyReport {
     /// stop_machine attempts it took to capture the machine quiescent
     /// (1 = first try).
     pub attempts: u32,
+    /// Pause of the *successful* stop_machine window (paper: ~0.7 ms).
+    /// Recorded here, at the moment the trampolines land, so callers
+    /// never pair this apply's attempts with some other stop_machine's
+    /// duration read later off the kernel.
+    pub pause: Duration,
     /// Trampolines written.
     pub sites: usize,
     /// Kernel step-clock deltas per stage, in pipeline order. Stages that
@@ -119,8 +125,8 @@ impl ApplyReport {
     /// Human-readable multi-line rendering (`ksplice report`).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "update {}: {} site(s) patched after {} stop_machine attempt(s)\n",
-            self.id, self.sites, self.attempts
+            "update {}: {} site(s) patched after {} stop_machine attempt(s), pause {:?}\n",
+            self.id, self.sites, self.attempts, self.pause
         );
         for (stage, steps) in &self.stage_steps {
             out.push_str(&format!("  {stage:<16} {steps:>8} steps\n"));
@@ -561,6 +567,7 @@ impl Ksplice {
             .map(|s| (s.site_addr, s.site_len, s.fn_name.clone()))
             .collect();
         let mut attempt = 0;
+        let pause;
         loop {
             attempt += 1;
             let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
@@ -600,6 +607,7 @@ impl Ksplice {
             tracer.observe("apply.pause_us", pause_us);
             match result {
                 Ok(saved) => {
+                    pause = kernel.last_stop_machine.unwrap_or_default();
                     tracer.emit(
                         Stage::Apply,
                         Severity::Info,
@@ -713,6 +721,7 @@ impl Ksplice {
             index: self.updates.len(),
             id: pack.id.clone(),
             attempts: attempt,
+            pause,
             sites: sites.len(),
             stage_steps,
         };

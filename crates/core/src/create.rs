@@ -10,7 +10,7 @@
 //! semantics (and typically added custom hook code to migrate live
 //! instances, §5.3).
 
-use ksplice_lang::{build_tree, Options, SourceTree};
+use ksplice_lang::{build_tree_cached, BuildCache, Options, SourceTree};
 use ksplice_patch::Patch;
 use ksplice_trace::{Severity, Stage, Tracer};
 
@@ -114,6 +114,35 @@ pub fn create_update_traced(
     opts: &CreateOptions,
     tracer: &mut Tracer,
 ) -> Result<(UpdatePack, SourceTree), CreateError> {
+    create_update_cached_traced(id, source, patch_text, opts, &BuildCache::new(), tracer)
+}
+
+/// [`create_update`] through a shared [`BuildCache`]: the pre build of an
+/// already-seen tree is served from the cache and the post build
+/// recompiles only the units the patch touches. Repeated creates against
+/// the same base tree (the evaluation corpus, a fleet of updates) pay for
+/// each unit's compile once per process.
+pub fn create_update_cached(
+    id: &str,
+    source: &SourceTree,
+    patch_text: &str,
+    opts: &CreateOptions,
+    cache: &BuildCache,
+) -> Result<(UpdatePack, SourceTree), CreateError> {
+    create_update_cached_traced(id, source, patch_text, opts, cache, &mut Tracer::disabled())
+}
+
+/// [`create_update_cached`] with build/diff/package events on `tracer`,
+/// plus `build.cache_hit` / `build.cache_miss` / `build.cache_evict` /
+/// `build.units_compiled` counters covering both builds.
+pub fn create_update_cached_traced(
+    id: &str,
+    source: &SourceTree,
+    patch_text: &str,
+    opts: &CreateOptions,
+    cache: &BuildCache,
+    tracer: &mut Tracer,
+) -> Result<(UpdatePack, SourceTree), CreateError> {
     tracer.emit(
         Stage::Create,
         Severity::Info,
@@ -135,8 +164,8 @@ pub fn create_update_traced(
     };
     let build_opts = opts.build_options.clone().unwrap_or_else(Options::pre_post);
 
-    let pre = match build_tree(source, &build_opts) {
-        Ok(set) => set,
+    let (pre, pre_stats) = match build_tree_cached(source, &build_opts, cache) {
+        Ok(built) => built,
         Err(error) => {
             return Err(fail(
                 tracer,
@@ -151,8 +180,8 @@ pub fn create_update_traced(
         Ok(t) => t,
         Err(e) => return Err(fail(tracer, e)),
     };
-    let post = match build_tree(&patched, &build_opts) {
-        Ok(set) => set,
+    let (post, post_stats) = match build_tree_cached(&patched, &build_opts, cache) {
+        Ok(built) => built,
         Err(error) => {
             return Err(fail(
                 tracer,
@@ -163,6 +192,12 @@ pub fn create_update_traced(
             ))
         }
     };
+    let mut build_stats = pre_stats;
+    build_stats.absorb(post_stats);
+    tracer.count("build.cache_hit", build_stats.hits);
+    tracer.count("build.cache_miss", build_stats.misses);
+    tracer.count("build.cache_evict", build_stats.evictions);
+    tracer.count("build.units_compiled", build_stats.units_compiled());
     tracer.emit(
         Stage::Create,
         Severity::Debug,
@@ -170,6 +205,8 @@ pub fn create_update_traced(
         vec![
             ("pre_units", pre.len().into()),
             ("post_units", post.len().into()),
+            ("cache_hits", build_stats.hits.into()),
+            ("units_compiled", build_stats.units_compiled().into()),
         ],
     );
 
@@ -236,6 +273,59 @@ mod tests {
         assert_eq!(pack.units.len(), 1);
         assert_eq!(pack.replaced_fn_count(), 1);
         assert!(patched.get("m.kc").unwrap().contains(">="));
+    }
+
+    #[test]
+    fn cached_post_build_compiles_only_patched_units() {
+        let src = tree(&[
+            ("m.kc", BASE),
+            ("other.kc", "int helper_fn(int v) { return v + 7; }"),
+            ("third.kc", "int third_fn() { return 3; }"),
+        ]);
+        let patch = "\
+--- a/m.kc
++++ b/m.kc
+@@ -1,5 +1,5 @@
+ int limit = 10;
+ int check(int x) {
+-    if (x > limit) {
++    if (x >= limit) {
+         return 0 - 1;
+     }
+";
+        let cache = BuildCache::new();
+        let mut tracer = Tracer::new();
+        let (pack, _) = create_update_cached_traced(
+            "cve-x",
+            &src,
+            patch,
+            &CreateOptions::default(),
+            &cache,
+            &mut tracer,
+        )
+        .unwrap();
+        // Pre compiles all 3 units cold; post recompiles only m.kc and
+        // hits the cache for the other two.
+        assert_eq!(tracer.counter("build.units_compiled"), 4);
+        assert_eq!(tracer.counter("build.cache_hit"), 2);
+        // A second create against the same tree: pre is fully cached.
+        let mut tracer2 = Tracer::new();
+        let (pack2, _) = create_update_cached_traced(
+            "cve-x",
+            &src,
+            patch,
+            &CreateOptions::default(),
+            &cache,
+            &mut tracer2,
+        )
+        .unwrap();
+        assert_eq!(tracer2.counter("build.units_compiled"), 0);
+        assert_eq!(tracer2.counter("build.cache_hit"), 6);
+        // Byte-identical product either way (the correctness bar: the
+        // differ and run-pre matching consume these bytes).
+        assert_eq!(pack.to_bytes(), pack2.to_bytes());
+        let (cold, _) = create_update("cve-x", &src, patch, &CreateOptions::default()).unwrap();
+        assert_eq!(cold.to_bytes(), pack.to_bytes());
     }
 
     #[test]

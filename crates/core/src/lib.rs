@@ -65,8 +65,12 @@ pub use apply::{
     UndoError, TRAMPOLINE_LEN,
 };
 pub use create::{
-    apply_patch_to_tree, create_update, create_update_traced, CreateError, CreateOptions,
+    apply_patch_to_tree, create_update, create_update_cached, create_update_cached_traced,
+    create_update_traced, CreateError, CreateOptions,
 };
+// Re-exported so callers driving the cached create path need not depend
+// on `ksplice-lang` directly.
+pub use ksplice_lang::{BuildCache, BuildStats};
 pub use differ::{
     diff_builds, diff_builds_traced, diff_unit, BuildDiff, DataChange, DataChangeKind, UnitDiff,
 };

@@ -6,19 +6,31 @@
 //! prove the exploit is dead, and reverse the update. The aggregate
 //! report regenerates the paper's headline numbers, Figure 3 and
 //! Table 1.
+//!
+//! The driver is built for corpus throughput: one [`BuildCache`] is
+//! shared across every CVE so the base tree (both the distro boot image
+//! and the pre build) is compiled exactly once per process and each post
+//! build recompiles only the patched units, and
+//! [`run_full_evaluation_jobs`] fans the corpus out over
+//! `std::thread::scope` workers — each CVE gets its own [`Kernel`], each
+//! worker its own [`Tracer`] merged back via [`Tracer::absorb`] after
+//! join, and outcome ordering is deterministic regardless of worker
+//! interleaving.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-use ksplice_core::{create_update, ApplyOptions, CreateOptions, Ksplice, Tracer};
+use ksplice_core::{create_update_cached_traced, ApplyOptions, BuildCache, CreateOptions, Ksplice, Tracer};
 use ksplice_kernel::Kernel;
-use ksplice_lang::Options;
+use ksplice_lang::{build_tree_cached, Options, SourceTree};
+use ksplice_object::ObjectSet;
 use ksplice_patch::Patch;
 
 use crate::corpus::{corpus, CustomReason, Cve};
 use crate::exploits::run_exploit;
 use crate::stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};
-use crate::stress::{load_stress, run_stress};
+use crate::stress::{load_stress_cached, run_stress};
 use crate::tree::base_tree;
 
 /// The result of running one CVE end to end.
@@ -47,13 +59,59 @@ pub struct CveOutcome {
     pub primary_bytes: usize,
 }
 
-/// Runs one corpus entry end to end.
+/// Runs one corpus entry end to end (fresh cache, no tracing).
 pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
+    run_cve_cached(case, stress_rounds, &BuildCache::new(), &mut Tracer::disabled())
+}
+
+/// [`run_cve`] through a shared [`BuildCache`], with cache and apply
+/// counters on `tracer`.
+pub fn run_cve_cached(
+    case: &Cve,
+    stress_rounds: u64,
+    cache: &BuildCache,
+    tracer: &mut Tracer,
+) -> Result<CveOutcome, String> {
     let base = base_tree();
-    let mut kernel = Kernel::boot(&base, &Options::distro()).map_err(|e| format!("boot: {e}"))?;
-    let stress_entry = load_stress(&mut kernel)?;
-    run_stress(&mut kernel, stress_entry, stress_rounds.min(5))
-        .map_err(|e| format!("{}: baseline {e}", case.id))?;
+    let image = distro_image(&base, cache)?;
+    baseline_stress_check(&image, cache, stress_rounds)
+        .map_err(|e| format!("{}: {e}", case.id))?;
+    run_cve_with(case, stress_rounds, &base, &image, cache, tracer)
+}
+
+/// Proves the *unpatched* kernel passes the stress test. One freshly
+/// booted image is as good as another, so the full evaluation runs this
+/// once instead of once per CVE.
+fn baseline_stress_check(
+    image: &ObjectSet,
+    cache: &BuildCache,
+    stress_rounds: u64,
+) -> Result<(), String> {
+    let mut kernel = Kernel::boot_image(image).map_err(|e| format!("boot: {e}"))?;
+    let entry = load_stress_cached(&mut kernel, cache)?;
+    run_stress(&mut kernel, entry, stress_rounds.min(5)).map_err(|e| format!("baseline {e}"))
+}
+
+/// Builds the distro (run) kernel image through the cache, so 64 boots
+/// cost one compile of the tree.
+fn distro_image(base: &SourceTree, cache: &BuildCache) -> Result<ObjectSet, String> {
+    build_tree_cached(base, &Options::distro(), cache)
+        .map(|(set, _)| set)
+        .map_err(|e| format!("boot: {e}"))
+}
+
+/// The worker body: one CVE end to end against a prebuilt boot image and
+/// a shared build cache.
+fn run_cve_with(
+    case: &Cve,
+    stress_rounds: u64,
+    base: &SourceTree,
+    image: &ObjectSet,
+    cache: &BuildCache,
+    tracer: &mut Tracer,
+) -> Result<CveOutcome, String> {
+    let mut kernel = Kernel::boot_image(image).map_err(|e| format!("boot: {e}"))?;
+    let stress_entry = load_stress_cached(&mut kernel, cache)?;
 
     let exploit_before = run_exploit(&mut kernel, case);
     if let Some(worked) = exploit_before {
@@ -68,7 +126,14 @@ pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
     let patch_loc = Patch::parse(&plain_patch)
         .map(|p| p.changed_line_count())
         .map_err(|e| format!("{}: {e}", case.id))?;
-    let plain = create_update(case.id, &base, &plain_patch, &CreateOptions::default());
+    let plain = create_update_cached_traced(
+        case.id,
+        base,
+        &plain_patch,
+        &CreateOptions::default(),
+        cache,
+        tracer,
+    );
     let plain_applied = plain.is_ok();
 
     // The shippable update: with custom code (and the programmer's
@@ -78,7 +143,7 @@ pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
             accept_data_changes: true,
             ..CreateOptions::default()
         };
-        create_update(case.id, &base, &case.full_patch_text(), &opts)
+        create_update_cached_traced(case.id, base, &case.full_patch_text(), &opts, cache, tracer)
             .map_err(|e| format!("{}: create: {e}", case.id))?
     } else {
         plain.map_err(|e| format!("{}: create: {e}", case.id))?
@@ -86,14 +151,11 @@ pub fn run_cve(case: &Cve, stress_rounds: u64) -> Result<CveOutcome, String> {
 
     let mut ks = Ksplice::new();
     let report = ks
-        .apply_traced(
-            &mut kernel,
-            &pack,
-            &ApplyOptions::default(),
-            &mut Tracer::disabled(),
-        )
+        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), tracer)
         .map_err(|e| format!("{}: apply: {e}", case.id))?;
-    let pause = kernel.last_stop_machine.unwrap_or_default();
+    // Both numbers come from the same ApplyReport: the pause and the
+    // attempt count describe the same successful stop_machine window.
+    let pause = report.pause;
 
     let stress_ok = run_stress(&mut kernel, stress_entry, stress_rounds).is_ok();
     let exploit_after = run_exploit(&mut kernel, case);
@@ -272,20 +334,119 @@ impl EvalReport {
     }
 }
 
-/// Runs the whole corpus. `stress_rounds` trades coverage for time (the
-/// test suite uses a small number; the bench uses more).
+/// Worker count used when the caller does not specify `--jobs`: one per
+/// available hardware thread.
+pub fn default_eval_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs the whole corpus with [`default_eval_jobs`] workers.
+/// `stress_rounds` trades coverage for time (the test suite uses a small
+/// number; the bench uses more).
 pub fn run_full_evaluation(stress_rounds: u64) -> Result<EvalReport, String> {
+    run_full_evaluation_jobs(stress_rounds, default_eval_jobs())
+}
+
+/// [`run_full_evaluation`] with an explicit worker count (the CLI's
+/// `--jobs N`). `jobs = 1` runs serially on the calling thread.
+pub fn run_full_evaluation_jobs(stress_rounds: u64, jobs: usize) -> Result<EvalReport, String> {
+    run_full_evaluation_traced(stress_rounds, jobs, &mut Tracer::disabled())
+}
+
+/// [`run_full_evaluation_jobs`] with cache/apply counters and histograms
+/// merged onto `tracer`. Workers trace into private [`Tracer`]s absorbed
+/// after join, so the merged metrics are identical for any `jobs` value;
+/// outcome order always matches corpus order.
+pub fn run_full_evaluation_traced(
+    stress_rounds: u64,
+    jobs: usize,
+    tracer: &mut Tracer,
+) -> Result<EvalReport, String> {
     let cases = corpus();
-    let mut outcomes = Vec::with_capacity(cases.len());
-    for case in &cases {
-        outcomes.push(run_cve(case, stress_rounds)?);
+    let base = base_tree();
+    let cache = BuildCache::new();
+    // Compile the boot image (and warm the cache) once, up front — every
+    // worker boots from these objects.
+    let image = distro_image(&base, &cache)?;
+    // The §6.2 sanity check that the unpatched kernel passes the stress
+    // test: every per-CVE kernel boots from the identical image, so one
+    // check covers them all.
+    baseline_stress_check(&image, &cache, stress_rounds)?;
+
+    let jobs = jobs.clamp(1, cases.len().max(1));
+    let mut results: Vec<Option<Result<CveOutcome, String>>> = Vec::new();
+    results.resize_with(cases.len(), || None);
+    if jobs == 1 {
+        for (case, slot) in cases.iter().zip(results.iter_mut()) {
+            *slot = Some(run_cve_with(
+                case,
+                stress_rounds,
+                &base,
+                &image,
+                &cache,
+                tracer,
+            ));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let trace_workers = tracer.is_enabled();
+        let worker_outputs = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = if trace_workers {
+                            Tracer::new()
+                        } else {
+                            Tracer::disabled()
+                        };
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cases.len() {
+                                break;
+                            }
+                            done.push((
+                                i,
+                                run_cve_with(
+                                    &cases[i],
+                                    stress_rounds,
+                                    &base,
+                                    &image,
+                                    &cache,
+                                    &mut local,
+                                ),
+                            ));
+                        }
+                        (done, local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (done, local) in worker_outputs {
+            tracer.absorb(&local);
+            for (i, result) in done {
+                results[i] = Some(result);
+            }
+        }
     }
-    let kernel =
-        Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| format!("boot: {e}"))?;
-    let units = base_tree()
-        .iter()
-        .filter(|(p, _)| p.ends_with(".kc"))
-        .count();
+
+    // Deterministic error semantics: the failure at the lowest corpus
+    // index wins, exactly as the serial loop would have reported it.
+    let mut outcomes = Vec::with_capacity(cases.len());
+    for result in results {
+        outcomes.push(result.expect("every corpus index was claimed")?);
+    }
+
+    // The stats kernel boots from the same image — the base tree is built
+    // once per evaluation, not twice more after the CVE loop.
+    let kernel = Kernel::boot_image(&image).map_err(|e| format!("boot: {e}"))?;
+    let units = base.iter().filter(|(p, _)| p.ends_with(".kc")).count();
     Ok(EvalReport {
         symbol_stats: symbol_stats(&kernel, units),
         corpus_stats: corpus_stats(&cases, &kernel),

@@ -145,8 +145,16 @@ impl Memory {
     }
 
     /// The region containing `addr..addr+len`, if any.
+    ///
+    /// `regions` is always sorted by start address — the bump cursor only
+    /// grows and `unmap_prefix` preserves order — so the candidate is the
+    /// last region starting at or below `addr`, found by binary search.
+    /// This is the single hottest lookup in the simulator (every VM
+    /// fetch, load and store lands here).
     pub fn region_at(&self, addr: u64, len: u64) -> Option<&Region> {
-        self.regions.iter().find(|r| r.contains(addr, len))
+        let i = self.regions.partition_point(|r| r.start <= addr);
+        let r = self.regions[..i].last()?;
+        r.contains(addr, len).then_some(r)
     }
 
     /// All regions, in allocation order.

@@ -139,11 +139,18 @@ impl Kernel {
         let mut new_regs = regs;
         let mut new_ip = next;
         let mut new_flags: Option<(bool, bool)> = None;
+        // Stores are staged in a fixed buffer — no heap allocation on
+        // the per-instruction path.
         enum Mem {
             None,
-            Store(u64, Vec<u8>),
+            Store(u64, [u8; 8], usize),
         }
         let mut mem_op = Mem::None;
+        macro_rules! store8 {
+            ($addr:expr, $v:expr) => {
+                mem_op = Mem::Store($addr, $v.to_le_bytes(), 8)
+            };
+        }
         let mut result: Result<(), String> = Ok(());
 
         match instr {
@@ -165,7 +172,7 @@ impl Kernel {
             }
             Instr::St(b, s, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
-                mem_op = Mem::Store(addr, reg!(s).to_le_bytes().to_vec());
+                store8!(addr, reg!(s));
             }
             Instr::Ld8(d, b, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
@@ -176,7 +183,7 @@ impl Kernel {
             }
             Instr::St8(b, s, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
-                mem_op = Mem::Store(addr, vec![reg!(s) as u8]);
+                mem_op = Mem::Store(addr, [reg!(s) as u8, 0, 0, 0, 0, 0, 0, 0], 1);
             }
             Instr::Lea(d, b, disp) => {
                 new_regs[d.num() as usize] = reg!(b).wrapping_add(disp as i64 as u64)
@@ -243,13 +250,13 @@ impl Kernel {
             }
             Instr::Call32(rel) => {
                 let sp = regs[15].wrapping_sub(8);
-                mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                store8!(sp, next);
                 new_regs[15] = sp;
                 new_ip = next.wrapping_add(rel as i64 as u64);
             }
             Instr::CallR(r) => {
                 let sp = regs[15].wrapping_sub(8);
-                mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                store8!(sp, next);
                 new_regs[15] = sp;
                 new_ip = reg!(r);
             }
@@ -265,7 +272,7 @@ impl Kernel {
             }
             Instr::Push(r) => {
                 let sp = regs[15].wrapping_sub(8);
-                mem_op = Mem::Store(sp, reg!(r).to_le_bytes().to_vec());
+                store8!(sp, reg!(r));
                 new_regs[15] = sp;
             }
             Instr::Pop(r) => {
@@ -283,7 +290,7 @@ impl Kernel {
                 match self.syscall_entry {
                     Some(entry) => {
                         let sp = regs[15].wrapping_sub(8);
-                        mem_op = Mem::Store(sp, next.to_le_bytes().to_vec());
+                        store8!(sp, next);
                         new_regs[15] = sp;
                         new_ip = entry;
                     }
@@ -296,8 +303,8 @@ impl Kernel {
         if let Err(msg) = result {
             return self.oops(tid, msg);
         }
-        if let Mem::Store(addr, bytes) = mem_op {
-            if let Err(e) = self.mem.store(addr, &bytes) {
+        if let Mem::Store(addr, bytes, len) = mem_op {
+            if let Err(e) = self.mem.store(addr, &bytes[..len]) {
                 return self.oops(tid, e.to_string());
             }
         }

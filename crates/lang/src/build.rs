@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use ksplice_object::{Object, ObjectSet};
 
 use crate::asmfile::assemble_unit;
+use crate::cache::{options_fingerprint, BuildCache, BuildStats, Fingerprint};
 use crate::ast::Unit;
 use crate::codegen::gen_unit;
 use crate::fold::fold_unit;
@@ -126,22 +127,80 @@ fn compile_parsed(
 /// Builds every unit of a tree, returning one object per `.kc`/`.ks`
 /// file.
 pub fn build_tree(tree: &SourceTree, opt: &Options) -> Result<ObjectSet, CompileError> {
-    let headers = parse_headers(tree)?;
+    build_tree_cached(tree, opt, &BuildCache::new()).map(|(set, _)| set)
+}
+
+/// Fingerprints every header a `.kc` unit can see: the tree's `.kh`
+/// files, folded in sorted path order.
+fn headers_fingerprint(tree: &SourceTree) -> u64 {
+    let mut fp = Fingerprint::new();
+    for (path, src) in tree.iter() {
+        if SourceTree::is_header(path) {
+            fp.str_field(path).str_field(src);
+        }
+    }
+    fp.finish()
+}
+
+/// The content-addressed cache key of one compilation unit: its path and
+/// source, the headers it can see (`.ks` assembly sees none), and the
+/// build [`Options`].
+fn unit_fingerprint(path: &str, src: &str, opt_fp: u64, headers_fp: Option<u64>) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.u64_field(opt_fp);
+    if let Some(h) = headers_fp {
+        fp.u64_field(h);
+    }
+    fp.str_field(path).str_field(src);
+    fp.finish()
+}
+
+/// [`build_tree`] through a shared [`BuildCache`]: units whose
+/// fingerprint (source + visible headers + options) is cached are served
+/// without recompiling, and are byte-identical to a cold build. Returns
+/// the built set and this build's cache traffic.
+///
+/// Headers are parsed lazily — a fully warm build never re-parses them.
+pub fn build_tree_cached(
+    tree: &SourceTree,
+    opt: &Options,
+    cache: &BuildCache,
+) -> Result<(ObjectSet, BuildStats), CompileError> {
+    let opt_fp = options_fingerprint(opt);
+    let headers_fp = headers_fingerprint(tree);
+    let mut headers: Option<HeaderContext> = None;
+    let mut stats = BuildStats::default();
     let mut set = ObjectSet::new();
     for (path, src) in tree.iter() {
         if SourceTree::is_header(path) {
             continue;
         }
-        let obj = if path.ends_with(".ks") {
-            assemble_unit(path, src, opt)?
+        let (key, is_asm) = if path.ends_with(".ks") {
+            (unit_fingerprint(path, src, opt_fp, None), true)
         } else if path.ends_with(".kc") {
-            compile_unit_with(path, src, opt, &headers)?
+            (unit_fingerprint(path, src, opt_fp, Some(headers_fp)), false)
         } else {
             continue; // READMEs, configs, etc.
         };
+        if let Some(obj) = cache.lookup(key) {
+            stats.hits += 1;
+            set.insert(obj);
+            continue;
+        }
+        stats.misses += 1;
+        let obj = if is_asm {
+            assemble_unit(path, src, opt)?
+        } else {
+            let ctx = match &headers {
+                Some(ctx) => ctx,
+                None => headers.insert(parse_headers(tree)?),
+            };
+            compile_unit_with(path, src, opt, ctx)?
+        };
+        stats.evictions += cache.store(key, obj.clone());
         set.insert(obj);
     }
-    Ok(set)
+    Ok((set, stats))
 }
 
 /// Computes, per compilation unit, which functions the optimiser inlines
@@ -332,6 +391,71 @@ mod tests {
             v1.section_by_name(".text.f").unwrap().1.data,
             v2.section_by_name(".text.f").unwrap().1.data
         );
+    }
+
+    #[test]
+    fn cached_build_is_byte_identical_to_cold() {
+        let mut tree = SourceTree::new();
+        tree.insert("include/defs.kh", "struct pair { int a; int b; };");
+        tree.insert("fs/a.kc", "int f(int x) { return x + 1; }");
+        tree.insert("fs/b.kc", "int g(int y) { return y * 2; }");
+        tree.insert("arch/e.ks", "entry:\n    ret\n");
+        let cold = build_tree(&tree, &Options::pre_post()).unwrap();
+        let cache = BuildCache::new();
+        let (first, s1) = build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        let (warm, s2) = build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        assert_eq!(cold, first);
+        assert_eq!(cold, warm);
+        assert_eq!(s1.misses, 3, "cold build compiles every unit");
+        assert_eq!(s1.hits, 0);
+        assert_eq!(s2.hits, 3, "warm build compiles nothing");
+        assert_eq!(s2.misses, 0);
+    }
+
+    #[test]
+    fn editing_one_unit_recompiles_only_it() {
+        let mut tree = SourceTree::new();
+        tree.insert("fs/a.kc", "int f(int x) { return x + 1; }");
+        tree.insert("fs/b.kc", "int g(int y) { return y * 2; }");
+        tree.insert("fs/c.kc", "int h(int z) { return z - 3; }");
+        let cache = BuildCache::new();
+        build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        tree.set("fs/b.kc", "int g(int y) { return y * 4; }".into());
+        let (set, stats) = build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        assert_eq!(stats.misses, 1, "only the edited unit recompiles");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(set, build_tree(&tree, &Options::pre_post()).unwrap());
+    }
+
+    #[test]
+    fn header_edit_invalidates_kc_but_not_ks() {
+        let mut tree = SourceTree::new();
+        tree.insert("include/defs.kh", "struct pair { int a; int b; };");
+        tree.insert("fs/a.kc", "int f(int x) { return x + 1; }");
+        tree.insert("arch/e.ks", "entry:\n    ret\n");
+        let cache = BuildCache::new();
+        build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        tree.set(
+            "include/defs.kh",
+            "struct pair { int a; int b; int c; };".into(),
+        );
+        let (set, stats) = build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        // The .kc unit sees headers and must recompile; the assembly
+        // unit does not and must hit.
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(set, build_tree(&tree, &Options::pre_post()).unwrap());
+    }
+
+    #[test]
+    fn option_change_misses_the_cache() {
+        let mut tree = SourceTree::new();
+        tree.insert("m.kc", "int f() { return 7; }");
+        let cache = BuildCache::new();
+        build_tree_cached(&tree, &Options::pre_post(), &cache).unwrap();
+        let (set, stats) = build_tree_cached(&tree, &Options::distro(), &cache).unwrap();
+        assert_eq!(stats.misses, 1, "different Options must not share objects");
+        assert_eq!(set, build_tree(&tree, &Options::distro()).unwrap());
     }
 
     #[test]

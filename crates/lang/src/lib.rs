@@ -45,6 +45,7 @@
 mod asmfile;
 mod ast;
 mod build;
+mod cache;
 mod codegen;
 mod fold;
 mod inline;
@@ -59,9 +60,10 @@ pub use ast::{
     StructDef, Type, UnaryOp, Unit,
 };
 pub use build::{
-    build_tree, compile_unit, compile_unit_with, parse_headers, tree_function_index,
-    tree_inline_report, SourceTree,
+    build_tree, build_tree_cached, compile_unit, compile_unit_with, parse_headers,
+    tree_function_index, tree_inline_report, SourceTree,
 };
+pub use cache::{options_fingerprint, BuildCache, BuildStats, Fingerprint};
 pub use inline::{inline_report, InlineReport};
 pub use lexer::lex;
 pub use parser::parse_unit;

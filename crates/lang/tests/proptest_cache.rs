@@ -1,0 +1,103 @@
+//! Proptest twin of `cache_property.rs`: cold build vs cached-then-
+//! invalidated-then-rebuilt must produce byte-identical `ObjectSet`s for
+//! arbitrary trees and edit sequences, with shrinking on failure.
+
+// Gated: the proptest dependency only resolves with registry access.
+// Re-add `proptest` to [dev-dependencies] and build with
+// `--features proptest-tests` to run this suite.
+#![cfg(feature = "proptest-tests")]
+
+use ksplice_lang::{build_tree, build_tree_cached, BuildCache, Options, SourceTree};
+use proptest::prelude::*;
+
+fn kc_unit(i: usize, imm: i64, reps: u64, op: char) -> String {
+    format!(
+        "int fn{i}(int a, int b) {{\n\
+         \x20   int k;\n\
+         \x20   int acc;\n\
+         \x20   acc = a;\n\
+         \x20   for (k = 0; k < {reps}; k = k + 1) {{\n\
+         \x20       acc = acc {op} b + {imm};\n\
+         \x20   }}\n\
+         \x20   return acc;\n\
+         }}\n"
+    )
+}
+
+#[derive(Debug, Clone)]
+enum EditOp {
+    RewriteUnit { slot: usize, imm: i64, reps: u64 },
+    AddUnit { id: usize, imm: i64, reps: u64 },
+    EditHeader { pad: u64 },
+}
+
+fn arb_tree() -> impl Strategy<Value = SourceTree> {
+    (
+        1usize..5,
+        proptest::collection::vec((0i64..100, 1u64..6), 1..5),
+        0u64..4,
+    )
+        .prop_map(|(n, shapes, pad)| {
+            let mut tree = SourceTree::new();
+            tree.insert(
+                "include/defs.kh",
+                &format!("struct rec {{ int a; int b; int pad{pad}; }};"),
+            );
+            for i in 0..n {
+                let (imm, reps) = shapes[i % shapes.len()];
+                tree.insert(&format!("sub/u{i}.kc"), &kc_unit(i, imm, reps, '+'));
+            }
+            tree
+        })
+}
+
+fn arb_edits() -> impl Strategy<Value = Vec<EditOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..5, 0i64..100, 1u64..6)
+                .prop_map(|(slot, imm, reps)| EditOp::RewriteUnit { slot, imm, reps }),
+            (10usize..20, 0i64..100, 1u64..6)
+                .prop_map(|(id, imm, reps)| EditOp::AddUnit { id, imm, reps }),
+            (0u64..1000).prop_map(|pad| EditOp::EditHeader { pad }),
+        ],
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_rebuild_is_byte_identical(tree in arb_tree(), edits in arb_edits()) {
+        let opt = Options::pre_post();
+        let cache = BuildCache::new();
+        let mut tree = tree;
+        let (warm0, _) = build_tree_cached(&tree, &opt, &cache).unwrap();
+        prop_assert_eq!(warm0.to_bytes(), build_tree(&tree, &opt).unwrap().to_bytes());
+        for op in edits {
+            match op {
+                EditOp::RewriteUnit { slot, imm, reps } => {
+                    let paths: Vec<String> = tree
+                        .paths()
+                        .filter(|p| p.ends_with(".kc"))
+                        .map(String::from)
+                        .collect();
+                    let victim = paths[slot % paths.len()].clone();
+                    tree.set(&victim, kc_unit(90 + slot, imm, reps, '-'));
+                }
+                EditOp::AddUnit { id, imm, reps } => {
+                    tree.insert(&format!("sub/new{id}.kc"), &kc_unit(id, imm, reps, '*'));
+                }
+                EditOp::EditHeader { pad } => {
+                    tree.set(
+                        "include/defs.kh",
+                        format!("struct rec {{ int a; int b; int pad{pad}; }};"),
+                    );
+                }
+            }
+            let (warm, _) = build_tree_cached(&tree, &opt, &cache).unwrap();
+            let cold = build_tree(&tree, &opt).unwrap();
+            prop_assert_eq!(warm.to_bytes(), cold.to_bytes());
+        }
+    }
+}

@@ -145,6 +145,22 @@ impl Tracer {
             .record(value);
     }
 
+    /// Merges another tracer's counters and histograms into this one —
+    /// how the parallel evaluation driver folds per-worker tracers back
+    /// into the caller's after `thread::scope` joins. Events are not
+    /// transferred (workers attach their own sinks if they want them);
+    /// the step clock advances to the furthest worker's reading.
+    pub fn absorb(&mut self, other: &Tracer) {
+        if !self.enabled {
+            return;
+        }
+        self.counters.absorb(&other.counters);
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().absorb(h);
+        }
+        self.now_steps = self.now_steps.max(other.now_steps);
+    }
+
     /// The counter table.
     pub fn counters(&self) -> &Counters {
         &self.counters
@@ -241,6 +257,31 @@ mod tests {
         let json = t.metrics_json();
         assert!(json.contains("\"runpre.bytes_matched\":150"), "{json}");
         assert!(json.contains("\"apply.pause_us\""), "{json}");
+    }
+
+    #[test]
+    fn absorb_merges_worker_tracers() {
+        let mut main = Tracer::new();
+        main.count("build.cache_hit", 1);
+        main.set_now(50);
+        let mut w1 = Tracer::new();
+        w1.count("build.cache_hit", 4);
+        w1.observe("apply.pause_us", 700);
+        w1.set_now(900);
+        let mut w2 = Tracer::new();
+        w2.count("build.units_compiled", 2);
+        w2.observe("apply.pause_us", 300);
+        main.absorb(&w1);
+        main.absorb(&w2);
+        assert_eq!(main.counter("build.cache_hit"), 5);
+        assert_eq!(main.counter("build.units_compiled"), 2);
+        let h = main.histogram("apply.pause_us").unwrap();
+        assert_eq!((h.count(), h.min(), h.max()), (2, 300, 700));
+        assert_eq!(main.now(), 900);
+        // A disabled tracer absorbs nothing.
+        let mut off = Tracer::disabled();
+        off.absorb(&w1);
+        assert_eq!(off.counter("build.cache_hit"), 0);
     }
 
     #[test]

@@ -21,6 +21,13 @@ impl Counters {
         self.table.get(name).copied().unwrap_or(0)
     }
 
+    /// Adds every counter of `other` into this table.
+    pub fn absorb(&mut self, other: &Counters) {
+        for (name, n) in other.iter() {
+            self.add(name, n);
+        }
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.table.iter().map(|(k, v)| (k.as_str(), *v))
     }
@@ -71,6 +78,21 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram's observations into this one, as if
+    /// every value had been recorded here.
+    pub fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (bucket, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     pub fn count(&self) -> u64 {
@@ -170,6 +192,38 @@ mod tests {
         assert_eq!(h.sum(), 1010);
         // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1000 → [512,1024).
         assert_eq!(h.occupied(), vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histograms_absorb_each_other() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(700);
+        let mut b = Histogram::new();
+        b.record(0);
+        b.record(900);
+        a.absorb(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1601);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 900);
+        // Absorbing an empty histogram changes nothing (min stays valid).
+        let before = a.occupied();
+        a.absorb(&Histogram::new());
+        assert_eq!(a.occupied(), before);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn counters_absorb_each_other() {
+        let mut a = Counters::new();
+        a.add("x", 2);
+        let mut b = Counters::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        a.absorb(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
     }
 
     #[test]

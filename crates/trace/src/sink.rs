@@ -9,7 +9,7 @@ use crate::event::{Event, Severity};
 
 /// Where events go. Implementations must be cheap: `record` runs inside
 /// the pipeline, including between stop_machine attempts.
-pub trait Sink {
+pub trait Sink: Send {
     fn record(&mut self, event: &Event);
     fn flush(&mut self) {}
 }
@@ -116,7 +116,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> Sink for JsonlSink<W> {
+impl<W: Write + Send> Sink for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
         // A failing trace file must not abort the update itself.
         let _ = writeln!(self.w, "{}", event.to_json());
@@ -158,7 +158,7 @@ impl<W: Write> HumanSink<W> {
     }
 }
 
-impl<W: Write> Sink for HumanSink<W> {
+impl<W: Write + Send> Sink for HumanSink<W> {
     fn record(&mut self, event: &Event) {
         if event.severity >= self.min_severity {
             let _ = writeln!(self.w, "{}", event.render_human());
