@@ -29,9 +29,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ksplice_core::trace::{Event, HumanSink, JsonlSink, Severity, Stage, Tracer, Value};
-use ksplice_core::{create_update_traced, ApplyOptions, CreateOptions, Ksplice, UpdatePack};
+use ksplice_core::{
+    create_update_traced, ApplyOptions, CreateOptions, Ksplice, RetryPolicy, UpdatePack,
+};
 use ksplice_eval::{base_tree, corpus, run_exploit};
-use ksplice_kernel::Kernel;
+use ksplice_kernel::{Fault, Kernel};
 use ksplice_lang::{Options, SourceTree};
 
 fn main() -> ExitCode {
@@ -76,10 +78,14 @@ fn main() -> ExitCode {
                 "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
-                 \n  demo    [--cve <id>]\
-                 \n  eval    [--stress <rounds>] [--jobs <n>]\
+                 \n  demo    [--cve <id>] [--retry-policy <spec>] [--fault <site>]... [--fault-seed <n>]\
+                 \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>]\
                  \n  list\
-                 \n  report  <trace.jsonl>"
+                 \n  report  <trace.jsonl>\
+                 \n\
+                 \n  retry-policy spec: fixed:ATTEMPTS:DELAY | exp:ATTEMPTS:INITIAL:MAX, with\
+                 \n  optional :jPCT (jitter) and :cSTEPS (abandon cooldown) modifiers\
+                 \n  fault sites (dev): stack-busy:N | module-load:N | corrupt-text[:0xADDR] | step-jitter:N"
             );
             return ExitCode::from(2);
         }
@@ -121,6 +127,24 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// All values of a repeatable `name <value>` flag, in order.
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// The `--retry-policy` flag, or the default schedule.
+fn retry_policy_arg(args: &[String]) -> Result<ApplyOptions, String> {
+    Ok(match flag_value(args, "--retry-policy") {
+        Some(spec) => ApplyOptions::with_retry(RetryPolicy::parse(spec)?),
+        None => ApplyOptions::default(),
+    })
 }
 
 /// Progress note: an Info-severity CLI event carrying one message.
@@ -212,6 +236,14 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 
 fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let id = flag_value(args, "--cve").unwrap_or("CVE-2006-2451");
+    let apply_opts = retry_policy_arg(args)?;
+    let faults: Vec<Fault> = flag_values(args, "--fault")
+        .into_iter()
+        .map(Fault::parse)
+        .collect::<Result<_, _>>()?;
+    let fault_seed: Option<u64> = flag_value(args, "--fault-seed")
+        .map(|s| s.parse().map_err(|_| "bad --fault-seed value".to_string()))
+        .transpose()?;
     let case = corpus()
         .into_iter()
         .find(|c| c.id == id)
@@ -250,10 +282,29 @@ fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     };
     let (pack, _) = create_update_traced(case.id, &base_tree(), &patch, &opts, tracer)
         .map_err(|e| e.to_string())?;
+    // Faults target the hot-update pipeline, so arm them only now —
+    // arming before the exploit demonstration would fire them on the
+    // exploit module's load instead of the update's.
+    if let Some(seed) = fault_seed {
+        kernel.faults.reseed(seed);
+    }
+    for fault in &faults {
+        let hit = kernel.arm_fault(*fault)?;
+        note(
+            tracer,
+            "cli.fault_armed",
+            match hit {
+                Some(addr) => format!("fault armed: {fault} (flipped byte at {addr:#x})"),
+                None => format!("fault armed: {fault}"),
+            },
+        );
+    }
     let mut ks = Ksplice::new();
     let report = ks
-        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), tracer)
+        .apply_traced(&mut kernel, &pack, &apply_opts, tracer)
         .map_err(|e| e.to_string())?;
+    // Leftover armed counts must not sabotage the re-exploit check.
+    kernel.faults.disarm();
     note(
         tracer,
         "cli.applied",
@@ -296,7 +347,8 @@ fn cmd_eval(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     if jobs == 0 {
         return Err("bad --jobs value".to_string());
     }
-    let report = ksplice_eval::run_full_evaluation_traced(rounds, jobs, tracer)?;
+    let apply_opts = retry_policy_arg(args)?;
+    let report = ksplice_eval::run_full_evaluation_opts(rounds, jobs, &apply_opts, tracer)?;
     tracer.count("eval.cases", report.outcomes.len() as u64);
     println!("{}", report.render());
     Ok(())

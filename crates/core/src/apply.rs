@@ -21,6 +21,7 @@ use ksplice_object::{Object, RelocKind, SectionKind};
 use ksplice_trace::{Severity, Stage, Tracer, Value};
 
 use crate::package::UpdatePack;
+use crate::retry::RetryPolicy;
 use crate::runpre::{match_unit_traced, MatchError, UnitMatch};
 
 /// Length of the jump trampoline written at a replaced function's entry.
@@ -29,7 +30,9 @@ pub const TRAMPOLINE_LEN: usize = 5;
 /// One patched function: everything needed to redirect and to undo.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatchSite {
+    /// Optimisation unit the function belongs to.
     pub unit: String,
+    /// Name of the replaced function.
     pub fn_name: String,
     /// Address the trampoline was written at (the obsolete code).
     pub site_addr: u64,
@@ -69,33 +72,31 @@ impl ResolvedHooks {
 /// A successfully applied update.
 #[derive(Debug, Clone)]
 pub struct AppliedUpdate {
+    /// Update id, from the pack.
     pub id: String,
+    /// Every redirected function, with its undo state.
     pub sites: Vec<PatchSite>,
     /// Names of the loaded primary modules (for rmmod on undo).
     pub primary_modules: Vec<String>,
+    /// Hook addresses resolved at apply time (reverse hooks run on undo).
     pub hooks: ResolvedHooks,
     /// Set once reversed; a reversed update stays in history.
     pub reversed: bool,
 }
 
 /// Apply-time policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ApplyOptions {
-    /// Safety-check attempts before abandoning (paper §5.2: "If multiple
-    /// such attempts are unsuccessful, then Ksplice abandons the upgrade
-    /// attempt and reports the failure").
-    pub max_attempts: u32,
-    /// Kernel instructions to run between attempts ("tries again after a
-    /// short delay").
-    pub retry_delay_steps: u64,
+    /// The retry schedule for the §5.2 safety-check loop (attempts,
+    /// backoff shape, jitter, abandon cooldown). The default reproduces
+    /// the historical fixed 5 × 2 000-step schedule.
+    pub retry: RetryPolicy,
 }
 
-impl Default for ApplyOptions {
-    fn default() -> ApplyOptions {
-        ApplyOptions {
-            max_attempts: 5,
-            retry_delay_steps: 2_000,
-        }
+impl ApplyOptions {
+    /// Options carrying the given retry schedule.
+    pub fn with_retry(retry: RetryPolicy) -> ApplyOptions {
+        ApplyOptions { retry }
     }
 }
 
@@ -144,20 +145,40 @@ pub enum ApplyError {
     Match(MatchError),
     /// A primary relocation could not be fulfilled from bindings or
     /// unique exported symbols.
-    Unresolved { unit: String, symbol: String },
+    Unresolved {
+        /// Unit whose replacement code holds the relocation.
+        unit: String,
+        /// The unresolvable symbol name.
+        symbol: String,
+    },
     /// The safety check kept failing: some function is non-quiescent.
     NotQuiescent {
+        /// The function found on a stack on the last attempt.
         fn_name: String,
         /// Thread observed inside the function on the last attempt.
         tid: u64,
+        /// How many stop_machine attempts were made before abandoning.
         attempts: u32,
     },
     /// A replaced function is too short to hold the trampoline.
-    TooShort { fn_name: String, len: u64 },
+    TooShort {
+        /// The too-short function.
+        fn_name: String,
+        /// Its length in bytes (< [`TRAMPOLINE_LEN`]).
+        len: u64,
+    },
     /// A hook function failed (non-zero return or oops).
-    Hook { kind: &'static str, detail: String },
+    Hook {
+        /// Which hook kind failed (`pre_apply`, `check_apply`, …).
+        kind: &'static str,
+        /// What went wrong, for the operator.
+        detail: String,
+    },
     /// A replaced function vanished from the match results (internal).
-    MissingMatch { fn_name: String },
+    MissingMatch {
+        /// The function with no match entry.
+        fn_name: String,
+    },
 }
 
 impl fmt::Display for ApplyError {
@@ -201,20 +222,50 @@ impl From<MatchError> for ApplyError {
     }
 }
 
+/// What a successful undo did — the reversal mirror of [`ApplyReport`].
+///
+/// `attempts` and `pause` come from the *same* stop_machine window, so
+/// callers never pair this undo's attempt count with some other
+/// stop_machine's duration read later off the kernel (the same race
+/// [`ApplyReport`] closes on the apply side).
+#[derive(Debug, Clone)]
+pub struct UndoReport {
+    /// Update id reversed.
+    pub id: String,
+    /// stop_machine attempts the reversal took (1 = first try).
+    pub attempts: u32,
+    /// Pause of the *successful* stop_machine window.
+    pub pause: Duration,
+    /// Patch sites whose original bytes were restored.
+    pub sites_restored: usize,
+}
+
 /// Errors from undo.
 #[derive(Debug)]
 pub enum UndoError {
     /// Unknown update id, or not the most recent live update.
-    NotUndoable { id: String, reason: String },
+    NotUndoable {
+        /// The id the caller asked to undo.
+        id: String,
+        /// Why it cannot be undone.
+        reason: String,
+    },
     /// Replacement code still on some stack.
     NotQuiescent {
+        /// The replacement function found on a stack on the last attempt.
         fn_name: String,
         /// Thread observed inside the function on the last attempt.
         tid: u64,
+        /// How many stop_machine attempts were made before abandoning.
         attempts: u32,
     },
     /// A reverse hook failed.
-    Hook { kind: &'static str, detail: String },
+    Hook {
+        /// Which hook kind failed (`pre_reverse`, `reverse`, …).
+        kind: &'static str,
+        /// What went wrong, for the operator.
+        detail: String,
+    },
 }
 
 impl fmt::Display for UndoError {
@@ -302,15 +353,37 @@ impl Ksplice {
         );
         let mut stage_steps: Vec<(&'static str, u64)> = Vec::new();
         let mut stage_start = kernel.steps;
+        // The clean-abort invariant: every abort path below must leave
+        // the kernel's mapped text byte-identical to this pre-apply
+        // image (no half-written trampolines, no leftover module code).
+        let text_before = kernel.mem.text_checksum();
 
         // 1. Load helper modules (pre code; invisible to kallsyms so the
         //    matcher cannot mistake them for run code). Kept loaded until
         //    the update is committed, then unloaded to save memory (§5.1).
-        let mut helper_names = Vec::new();
+        let mut helper_names: Vec<String> = Vec::new();
         for up in &pack.units {
             let mut helper = up.helper.clone();
             helper.name = format!("{tag}_helper_{}", sanitize(&up.unit));
-            kernel.insmod_with(&helper, true, false)?;
+            if let Err(e) = kernel.insmod_with(&helper, true, false) {
+                // Unload the helpers already in: a partial set must not
+                // outlive the abort.
+                for name in &helper_names {
+                    kernel.rmmod(name);
+                }
+                verify_text_restored(kernel, tracer, Stage::Apply, text_before);
+                tracer.emit(
+                    Stage::Apply,
+                    Severity::Error,
+                    "apply.abort",
+                    vec![
+                        ("id", pack.id.as_str().into()),
+                        ("stage", "load_helpers".into()),
+                        ("msg", e.to_string().into()),
+                    ],
+                );
+                return Err(e.into());
+            }
             helper_names.push(helper.name);
         }
         let unload_helpers = |kernel: &mut Kernel| {
@@ -336,6 +409,7 @@ impl Ksplice {
                 }
                 Err(e) => {
                     unload_helpers(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -367,6 +441,7 @@ impl Ksplice {
                         kernel.rmmod(n);
                     }
                     unload_helpers(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -402,6 +477,7 @@ impl Ksplice {
                     .or_else(|| kernel.syms.lookup_global(&pending.symbol).map(|s| s.addr));
                 let Some(s) = s else {
                     rollback_modules(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -427,6 +503,7 @@ impl Ksplice {
                     pending.addend,
                 ) {
                     rollback_modules(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -457,6 +534,7 @@ impl Ksplice {
         for (unit, loaded, obj) in &primaries {
             if let Err(e) = resolve_hooks(kernel, unit, loaded, obj, &matches, &mut hooks) {
                 rollback_modules(kernel);
+                verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                 tracer.emit(
                     Stage::Apply,
                     Severity::Error,
@@ -478,6 +556,7 @@ impl Ksplice {
             for (sec_name, fn_name) in &up.replaced_fns {
                 let Some(m) = um.fn_addrs.get(fn_name) else {
                     rollback_modules(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -495,6 +574,7 @@ impl Ksplice {
                 };
                 if m.run_len < TRAMPOLINE_LEN as u64 {
                     rollback_modules(kernel);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     tracer.emit(
                         Stage::Apply,
                         Severity::Error,
@@ -545,6 +625,7 @@ impl Ksplice {
         if let Err(e) = run_hooks(kernel, &hooks, HookKind::PreApply) {
             rollback_modules(kernel);
             tracer.set_now(kernel.steps);
+            verify_text_restored(kernel, tracer, Stage::Apply, text_before);
             tracer.emit(
                 Stage::Apply,
                 Severity::Error,
@@ -657,19 +738,23 @@ impl Ksplice {
                             ),
                         ],
                     );
-                    if attempt < opts.max_attempts && hook_detail.is_none() {
-                        // "Ksplice tries again after a short delay" (§5.2).
+                    if attempt < opts.retry.max_attempts && hook_detail.is_none() {
+                        // "Ksplice tries again after a short delay" (§5.2):
+                        // the delay follows the configured backoff curve.
+                        let delay = opts.retry.delay_steps(attempt);
                         tracer.emit(
                             Stage::Apply,
                             Severity::Debug,
                             "apply.retry_delay",
-                            vec![("steps", opts.retry_delay_steps.into())],
+                            vec![("attempt", attempt.into()), ("steps", delay.into())],
                         );
-                        kernel.run(opts.retry_delay_steps);
+                        kernel.run(delay);
                         tracer.set_now(kernel.steps);
                         continue;
                     }
                     rollback_modules(kernel);
+                    cooldown(kernel, tracer, Stage::Apply, opts.retry.cooldown_steps);
+                    verify_text_restored(kernel, tracer, Stage::Apply, text_before);
                     let err = match hook_detail {
                         Some(detail) => ApplyError::Hook {
                             kind: "ksplice_apply",
@@ -760,15 +845,16 @@ impl Ksplice {
             .map(|_| ())
     }
 
-    /// [`Ksplice::undo`] with per-attempt events on `tracer`. Returns the
-    /// number of stop_machine attempts the reversal took.
+    /// [`Ksplice::undo`] with per-attempt events on `tracer`. Returns an
+    /// [`UndoReport`] pairing the reversal's attempt count with the pause
+    /// of its successful stop_machine window.
     pub fn undo_traced(
         &mut self,
         kernel: &mut Kernel,
         id: &str,
         opts: &ApplyOptions,
         tracer: &mut Tracer,
-    ) -> Result<u32, UndoError> {
+    ) -> Result<UndoReport, UndoError> {
         tracer.set_now(kernel.steps);
         tracer.emit(
             Stage::Undo,
@@ -779,12 +865,12 @@ impl Ksplice {
         let result = self.undo_inner(kernel, id, opts, tracer);
         tracer.set_now(kernel.steps);
         match &result {
-            Ok(attempts) => {
+            Ok(report) => {
                 tracer.emit(
                     Stage::Undo,
                     Severity::Info,
                     "undo.committed",
-                    vec![("id", id.into()), ("attempts", (*attempts).into())],
+                    vec![("id", id.into()), ("attempts", report.attempts.into())],
                 );
                 tracer.count("undo.updates_reversed", 1);
             }
@@ -813,7 +899,10 @@ impl Ksplice {
         id: &str,
         opts: &ApplyOptions,
         tracer: &mut Tracer,
-    ) -> Result<u32, UndoError> {
+    ) -> Result<UndoReport, UndoError> {
+        // The abandon paths below must leave the trampolines (and all
+        // other mapped text) exactly as they found them.
+        let text_before = kernel.mem.text_checksum();
         let Some(latest_live) = self.updates.iter().rposition(|u| !u.reversed) else {
             return Err(UndoError::NotUndoable {
                 id: id.to_string(),
@@ -855,17 +944,32 @@ impl Ksplice {
                 .map(|s| (s.site_addr, s.site_len, format!("{} (original)", s.fn_name))),
         );
         let mut attempt = 0;
+        let pause;
         loop {
             attempt += 1;
             let result = kernel.stop_machine(|k| -> Result<(), StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
                 }
+                // Save the trampoline bytes so a reverse-hook failure can
+                // re-install them — the same all-or-nothing discipline the
+                // apply side uses for its stopped-machine hooks.
+                let mut tramps = Vec::with_capacity(update.sites.len());
                 for site in &update.sites {
+                    let mut buf = [0u8; TRAMPOLINE_LEN];
+                    buf.copy_from_slice(
+                        k.mem
+                            .peek(site.site_addr, TRAMPOLINE_LEN as u64)
+                            .expect("mapped"),
+                    );
+                    tramps.push(buf);
                     k.mem.poke(site.site_addr, &site.saved).expect("mapped");
                 }
                 for &h in update.hooks.of(HookKind::Reverse) {
                     if let Err(detail) = call_hook(k, h) {
+                        for (site, tramp) in update.sites.iter().zip(&tramps) {
+                            k.mem.poke(site.site_addr, tramp).expect("mapped");
+                        }
                         return Err(StopError::Hook(format!("reverse hook: {detail}")));
                     }
                 }
@@ -880,6 +984,7 @@ impl Ksplice {
             tracer.observe("undo.pause_us", pause_us);
             match result {
                 Ok(()) => {
+                    pause = kernel.last_stop_machine.unwrap_or_default();
                     tracer.emit(
                         Stage::Undo,
                         Severity::Info,
@@ -926,17 +1031,20 @@ impl Ksplice {
                             ),
                         ],
                     );
-                    if attempt < opts.max_attempts && hook_detail.is_none() {
+                    if attempt < opts.retry.max_attempts && hook_detail.is_none() {
+                        let delay = opts.retry.delay_steps(attempt);
                         tracer.emit(
                             Stage::Undo,
                             Severity::Debug,
                             "undo.retry_delay",
-                            vec![("steps", opts.retry_delay_steps.into())],
+                            vec![("attempt", attempt.into()), ("steps", delay.into())],
                         );
-                        kernel.run(opts.retry_delay_steps);
+                        kernel.run(delay);
                         tracer.set_now(kernel.steps);
                         continue;
                     }
+                    cooldown(kernel, tracer, Stage::Undo, opts.retry.cooldown_steps);
+                    verify_text_restored(kernel, tracer, Stage::Undo, text_before);
                     return Err(match hook_detail {
                         Some(detail) => UndoError::Hook {
                             kind: "ksplice_reverse",
@@ -956,7 +1064,12 @@ impl Ksplice {
             kernel.rmmod(name);
         }
         self.updates[latest_live].reversed = true;
-        Ok(attempt)
+        Ok(UndoReport {
+            id: id.to_string(),
+            attempts: attempt,
+            pause,
+            sites_restored: update.sites.len(),
+        })
     }
 }
 
@@ -968,10 +1081,57 @@ enum StopError {
     Hook(String),
 }
 
+/// Runs the abandon-path cooldown, if the policy asks for one: gives
+/// blocked threads `steps` instructions to drain after the rollback,
+/// before the failure is reported.
+fn cooldown(kernel: &mut Kernel, tracer: &mut Tracer, stage: Stage, steps: u64) {
+    if steps == 0 {
+        return;
+    }
+    let name = match stage {
+        Stage::Undo => "undo.cooldown",
+        _ => "apply.cooldown",
+    };
+    tracer.emit(stage, Severity::Debug, name, vec![("steps", steps.into())]);
+    kernel.run(steps);
+    tracer.set_now(kernel.steps);
+}
+
+/// Checks the clean-abort invariant after a rollback: mapped kernel text
+/// must hash identically to the pre-apply (or pre-undo) image. Emits a
+/// `*.rollback_verified` event either way; a mismatch is an `Error`
+/// event plus a `rollback.text_mismatch` count, never a panic — the
+/// kernel must limp on so the operator can inspect it.
+fn verify_text_restored(kernel: &Kernel, tracer: &mut Tracer, stage: Stage, expected: u64) -> bool {
+    let restored = kernel.mem.text_checksum() == expected;
+    let name = match stage {
+        Stage::Undo => "undo.rollback_verified",
+        _ => "apply.rollback_verified",
+    };
+    tracer.emit(
+        stage,
+        if restored {
+            Severity::Debug
+        } else {
+            Severity::Error
+        },
+        name,
+        vec![("restored", restored.into())],
+    );
+    if !restored {
+        tracer.count("rollback.text_mismatch", 1);
+    }
+    restored
+}
+
 /// Returns the thread and name of a function some live thread is inside,
 /// if any — the §5.2 safety condition over instruction pointers and
-/// return addresses.
-fn busy_function(kernel: &Kernel, ranges: &[(u64, u64, String)]) -> Option<(u64, String)> {
+/// return addresses. An armed stack-busy fault reports a synthetic
+/// occupant first, exercising the retry/abandon machinery on demand.
+fn busy_function(kernel: &mut Kernel, ranges: &[(u64, u64, String)]) -> Option<(u64, String)> {
+    if let Some(hit) = kernel.faults.stack_check_busy(ranges) {
+        return Some(hit);
+    }
     for (tid, backtrace) in kernel.all_backtraces() {
         for addr in backtrace {
             for (start, len, name) in ranges {

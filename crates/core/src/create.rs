@@ -41,12 +41,17 @@ pub enum CreateError {
     /// A build failed (pre builds failing means the wrong source was
     /// supplied; post builds failing means a broken patch).
     Compile {
+        /// Which build failed: `"pre"` or `"post"`.
         phase: &'static str,
+        /// The compiler's error.
         error: ksplice_lang::CompileError,
     },
     /// The patch changes persistent data semantics and
     /// `accept_data_changes` was not set.
-    DataSemantics { changes: Vec<(String, DataChange)> },
+    DataSemantics {
+        /// `(unit, change)` for every flagged datum.
+        changes: Vec<(String, DataChange)>,
+    },
     /// The patch produced no object-code change at all.
     NoEffect,
 }

@@ -27,7 +27,12 @@ pub enum DataChangeKind {
     InitChanged,
     /// Same-named datum with a different size (often "adds field to
     /// struct" when the datum is a struct instance, Table 1).
-    SizeChanged { pre: u64, post: u64 },
+    SizeChanged {
+        /// Size in the pre build.
+        pre: u64,
+        /// Size in the post build.
+        post: u64,
+    },
 }
 
 /// A flagged change to a pre-existing datum.
@@ -35,12 +40,14 @@ pub enum DataChangeKind {
 pub struct DataChange {
     /// Section name, e.g. `.data.init_task`.
     pub section: String,
+    /// What about the datum changed.
     pub kind: DataChangeKind,
 }
 
 /// The diff for one compilation unit.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct UnitDiff {
+    /// The compilation unit's name.
     pub unit: String,
     /// Function section names whose post code differs from pre (or which
     /// are new in post). These become replacement code.
@@ -70,6 +77,7 @@ impl UnitDiff {
 /// The whole diff between a pre and post build.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BuildDiff {
+    /// One entry per compilation unit, affected or not.
     pub units: Vec<UnitDiff>,
 }
 

@@ -53,17 +53,21 @@
 //! assert_eq!(kernel.call_function("check", &[10]).unwrap() as i64, -1); // fixed, no reboot
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod apply;
 pub mod create;
 pub mod differ;
 pub mod package;
+pub mod retry;
 pub mod runpre;
 pub mod stream;
 
 pub use apply::{
     AppliedUpdate, ApplyError, ApplyOptions, ApplyReport, Ksplice, PatchSite, ResolvedHooks,
-    UndoError, TRAMPOLINE_LEN,
+    UndoError, UndoReport, TRAMPOLINE_LEN,
 };
+pub use retry::{Backoff, RetryPolicy};
 pub use create::{
     apply_patch_to_tree, create_update, create_update_cached, create_update_cached_traced,
     create_update_traced, CreateError, CreateOptions,

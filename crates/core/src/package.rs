@@ -40,6 +40,7 @@ pub struct UnitPack {
 pub struct UpdatePack {
     /// Human-readable update id (e.g. the CVE name).
     pub id: String,
+    /// One helper/primary pair per affected optimisation unit.
     pub units: Vec<UnitPack>,
     /// The underlying object diff, kept for reporting.
     pub diff: BuildDiff,

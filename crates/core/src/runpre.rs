@@ -29,6 +29,7 @@ use ksplice_trace::{Severity, Stage, Tracer, Value};
 /// A matched function: where its run code lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FnMatch {
+    /// Address of the function's code in the running kernel.
     pub run_addr: u64,
     /// Length of the run code actually walked (may differ from the pre
     /// length when branch forms or alignment no-ops differ).
@@ -38,6 +39,7 @@ pub struct FnMatch {
 /// The result of matching one optimisation unit.
 #[derive(Debug, Clone, Default)]
 pub struct UnitMatch {
+    /// The optimisation unit that was matched.
     pub unit: String,
     /// Function symbol → its run location (trampoline target sites).
     pub fn_addrs: BTreeMap<String, FnMatch>,
@@ -53,11 +55,15 @@ pub struct UnitMatch {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MatchError {
     /// No kallsyms candidate for a pre function.
-    NoCandidate { function: String },
+    NoCandidate {
+        /// The function with no candidate address.
+        function: String,
+    },
     /// The pre code did not match the run code at any candidate.
     Mismatch {
         /// Optimisation unit the pre function belongs to.
         unit: String,
+        /// The function whose bytes diverged.
         function: String,
         /// Candidate run address that got furthest.
         run_addr: u64,
@@ -67,15 +73,25 @@ pub enum MatchError {
         /// plain byte comparison; `None` for structural failures
         /// (undecodable instruction, branch shape, length).
         bytes: Option<(u8, u8)>,
+        /// Human-readable failure description.
         reason: String,
     },
     /// More than one candidate matched and nothing disambiguated them.
     Ambiguous {
+        /// The ambiguous function.
         function: String,
+        /// Every run address that fully matched.
         candidates: Vec<u64>,
     },
     /// Two recovered values for the same symbol disagree.
-    InconsistentBinding { symbol: String, a: u64, b: u64 },
+    InconsistentBinding {
+        /// The symbol with conflicting recovered values.
+        symbol: String,
+        /// First recovered value.
+        a: u64,
+        /// Conflicting recovered value.
+        b: u64,
+    },
     /// The pre object is malformed.
     BadPreObject(String),
 }

@@ -35,13 +35,18 @@ pub struct UpdateStream {
 /// Errors authoring a stream.
 #[derive(Debug)]
 pub enum StreamError {
+    /// Authoring the next pack failed.
     Create(CreateError),
     /// A subscriber asked for a level the stream does not have.
     NoSuchLevel {
+        /// The requested level.
         level: usize,
+        /// The stream's current head level.
         head: usize,
     },
+    /// Applying a pack during catch-up failed.
     Apply(ApplyError),
+    /// Reversing a pack during rollback failed.
     Undo(UndoError),
 }
 

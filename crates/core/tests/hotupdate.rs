@@ -427,10 +427,7 @@ fn non_quiescent_function_aborts_then_succeeds() {
     let (pack, _) = create_update("w", &src, &patch, &CreateOptions::default()).unwrap();
     let mut ks = Ksplice::new();
     // Short retries cannot outlast a 1000-round sleeper.
-    let opts = ApplyOptions {
-        max_attempts: 3,
-        retry_delay_steps: 100,
-    };
+    let opts = ApplyOptions::with_retry(ksplice_core::RetryPolicy::fixed(3, 100));
     let err = ks.apply(&mut kernel, &pack, &opts).unwrap_err();
     assert!(
         matches!(err, ApplyError::NotQuiescent { .. }),

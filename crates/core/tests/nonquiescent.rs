@@ -8,7 +8,7 @@
 //! safety-check retry loop runs, the function has become quiescent.
 
 use ksplice_core::trace::{RingSink, Severity, Tracer};
-use ksplice_core::{create_update, ApplyError, ApplyOptions, CreateOptions, Ksplice};
+use ksplice_core::{create_update, ApplyError, ApplyOptions, CreateOptions, Ksplice, RetryPolicy};
 use ksplice_kernel::{Kernel, ThreadState};
 use ksplice_lang::{Options, SourceTree};
 use ksplice_patch::make_diff;
@@ -49,10 +49,7 @@ fn patching_an_occupied_function_abandons_after_retries() {
         .apply(
             &mut kernel,
             &pack,
-            &ApplyOptions {
-                max_attempts: 4,
-                retry_delay_steps: 200,
-            },
+            &ApplyOptions::with_retry(RetryPolicy::fixed(4, 200)),
         )
         .unwrap_err();
     assert!(matches!(err, ApplyError::NotQuiescent { .. }), "{err}");
@@ -75,10 +72,7 @@ fn every_failed_safety_check_is_recorded_with_the_blocking_function() {
         .apply_traced(
             &mut kernel,
             &pack,
-            &ApplyOptions {
-                max_attempts: 4,
-                retry_delay_steps: 200,
-            },
+            &ApplyOptions::with_retry(RetryPolicy::fixed(4, 200)),
             &mut tracer,
         )
         .unwrap_err();
@@ -132,10 +126,7 @@ fn dynamos_style_hook_drains_the_function_then_patches() {
     ks.apply(
         &mut kernel,
         &pack,
-        &ApplyOptions {
-            max_attempts: 10,
-            retry_delay_steps: 100_000,
-        },
+        &ApplyOptions::with_retry(RetryPolicy::fixed(10, 100_000)),
     )
     .unwrap();
 

@@ -55,6 +55,9 @@ pub struct CveOutcome {
     pub pause: Duration,
     /// stop_machine attempts before the safety check passed (§5.2).
     pub attempts: u32,
+    /// stop_machine attempts for the reversal (0 when the undo failed),
+    /// from the same [`ksplice_core::UndoReport`] as its pause.
+    pub undo_attempts: u32,
     pub helper_bytes: usize,
     pub primary_bytes: usize,
 }
@@ -76,7 +79,15 @@ pub fn run_cve_cached(
     let image = distro_image(&base, cache)?;
     baseline_stress_check(&image, cache, stress_rounds)
         .map_err(|e| format!("{}: {e}", case.id))?;
-    run_cve_with(case, stress_rounds, &base, &image, cache, tracer)
+    run_cve_with(
+        case,
+        stress_rounds,
+        &base,
+        &image,
+        cache,
+        &ApplyOptions::default(),
+        tracer,
+    )
 }
 
 /// Proves the *unpatched* kernel passes the stress test. One freshly
@@ -108,6 +119,7 @@ fn run_cve_with(
     base: &SourceTree,
     image: &ObjectSet,
     cache: &BuildCache,
+    apply_opts: &ApplyOptions,
     tracer: &mut Tracer,
 ) -> Result<CveOutcome, String> {
     let mut kernel = Kernel::boot_image(image).map_err(|e| format!("boot: {e}"))?;
@@ -151,7 +163,7 @@ fn run_cve_with(
 
     let mut ks = Ksplice::new();
     let report = ks
-        .apply_traced(&mut kernel, &pack, &ApplyOptions::default(), tracer)
+        .apply_traced(&mut kernel, &pack, apply_opts, tracer)
         .map_err(|e| format!("{}: apply: {e}", case.id))?;
     // Both numbers come from the same ApplyReport: the pause and the
     // attempt count describe the same successful stop_machine window.
@@ -160,9 +172,9 @@ fn run_cve_with(
     let stress_ok = run_stress(&mut kernel, stress_entry, stress_rounds).is_ok();
     let exploit_after = run_exploit(&mut kernel, case);
 
-    let undo_ok = ks
-        .undo(&mut kernel, case.id, &ApplyOptions::default())
-        .is_ok();
+    let undo_report = ks.undo_traced(&mut kernel, case.id, apply_opts, tracer);
+    let undo_ok = undo_report.is_ok();
+    let undo_attempts = undo_report.map(|r| r.attempts).unwrap_or(0);
 
     Ok(CveOutcome {
         id: case.id,
@@ -179,6 +191,7 @@ fn run_cve_with(
         undo_ok,
         pause,
         attempts: report.attempts,
+        undo_attempts,
         helper_bytes: pack.helper_size(),
         primary_bytes: pack.primary_size(),
     })
@@ -364,6 +377,18 @@ pub fn run_full_evaluation_traced(
     jobs: usize,
     tracer: &mut Tracer,
 ) -> Result<EvalReport, String> {
+    run_full_evaluation_opts(stress_rounds, jobs, &ApplyOptions::default(), tracer)
+}
+
+/// [`run_full_evaluation_traced`] with an explicit apply-time policy
+/// (the CLI's `--retry-policy` reaches every per-CVE apply and undo
+/// through here).
+pub fn run_full_evaluation_opts(
+    stress_rounds: u64,
+    jobs: usize,
+    apply_opts: &ApplyOptions,
+    tracer: &mut Tracer,
+) -> Result<EvalReport, String> {
     let cases = corpus();
     let base = base_tree();
     let cache = BuildCache::new();
@@ -386,6 +411,7 @@ pub fn run_full_evaluation_traced(
                 &base,
                 &image,
                 &cache,
+                apply_opts,
                 tracer,
             ));
         }
@@ -415,6 +441,7 @@ pub fn run_full_evaluation_traced(
                                     &base,
                                     &image,
                                     &cache,
+                                    apply_opts,
                                     &mut local,
                                 ),
                             ));

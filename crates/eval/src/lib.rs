@@ -10,7 +10,7 @@ pub mod tree;
 pub use corpus::{corpus, diff_trees, CustomCode, CustomReason, Cve, Edit, VulnClass};
 pub use driver::{
     default_eval_jobs, run_cve, run_cve_cached, run_full_evaluation, run_full_evaluation_jobs,
-    run_full_evaluation_traced, CveOutcome, EvalReport,
+    run_full_evaluation_opts, run_full_evaluation_traced, CveOutcome, EvalReport,
 };
 pub use exploits::run_exploit;
 pub use stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};

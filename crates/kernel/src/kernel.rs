@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use ksplice_lang::{build_tree, Options, SourceTree};
 use ksplice_object::{Object, ObjectSet};
 
+use crate::fault::{Fault, FaultPlan};
 use crate::kallsyms::Kallsyms;
 use crate::loader::{load_kernel_image, load_module, LinkError, LoadedModule};
 use crate::mem::{Memory, Perms};
@@ -113,6 +114,8 @@ pub struct Kernel {
     /// Number of simulated CPUs (scheduling is still sequential; this
     /// scales the simulated capture cost of `stop_machine`).
     pub num_cpus: u32,
+    /// Armed fault-injection state (inert by default; see [`FaultPlan`]).
+    pub faults: FaultPlan,
 }
 
 impl Kernel {
@@ -151,6 +154,7 @@ impl Kernel {
             last_stop_machine: None,
             stop_machine_count: 0,
             num_cpus: 4,
+            faults: FaultPlan::default(),
         })
     }
 
@@ -228,7 +232,7 @@ impl Kernel {
     /// Round-robin scheduler: runs up to `max_steps` instructions in
     /// [`QUANTUM`]-sized slices across all runnable threads.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
-        let mut budget = max_steps;
+        let mut budget = self.faults.jitter_budget(max_steps);
         loop {
             let mut progressed = false;
             let tids: Vec<u64> = self.threads.iter().map(|t| t.tid).collect();
@@ -428,6 +432,12 @@ impl Kernel {
         defer_unresolved: bool,
         register_symbols: bool,
     ) -> Result<LoadedModule, LinkError> {
+        if self.faults.module_load_fails(&obj.name) {
+            // Simulated vmalloc exhaustion mid-load (fault injection).
+            return Err(LinkError::OutOfMemory {
+                section: format!("{}:fault-injected", obj.name),
+            });
+        }
         let m = load_module(
             &mut self.mem,
             &self.syms,
@@ -462,6 +472,56 @@ impl Kernel {
         self.syms.remove_unit(name);
         self.modules.retain(|m| m.name != name);
         true
+    }
+
+    /// Arms one fault (see [`Fault`] for the sites). Countable faults
+    /// (stack-busy windows, module-load failures) accumulate; text
+    /// corruption happens immediately — one byte of mapped kernel text
+    /// is inverted (at `addr` if given, else a seeded pick) and the
+    /// flipped address is recorded in [`FaultPlan::fired`]. Returns the
+    /// corrupted address for `CorruptText`, `None` otherwise; `Err` only
+    /// when a text corruption finds no byte to flip.
+    pub fn arm_fault(&mut self, fault: Fault) -> Result<Option<u64>, String> {
+        match fault {
+            Fault::StackBusy { windows } => {
+                self.faults.arm_stack_busy(windows);
+                Ok(None)
+            }
+            Fault::ModuleLoad { count } => {
+                self.faults.arm_module_load(count);
+                Ok(None)
+            }
+            Fault::StepJitter { max_steps } => {
+                self.faults.arm_step_jitter(max_steps);
+                Ok(None)
+            }
+            Fault::CorruptText { addr } => {
+                let addr = match addr {
+                    Some(a) => a,
+                    None => {
+                        let exec: Vec<(u64, u64)> = self
+                            .mem
+                            .regions()
+                            .iter()
+                            .filter(|r| r.perms.exec)
+                            .map(|r| (r.start, r.size))
+                            .collect();
+                        self.faults
+                            .pick_text_byte(&exec)
+                            .ok_or_else(|| "no executable text to corrupt".to_string())?
+                    }
+                };
+                let byte = self
+                    .mem
+                    .peek(addr, 1)
+                    .map_err(|e| format!("corrupt-text at {addr:#x}: {e}"))?[0];
+                self.mem
+                    .poke(addr, &[!byte])
+                    .map_err(|e| format!("corrupt-text at {addr:#x}: {e}"))?;
+                self.faults.record("corrupt-text", format!("{addr:#x}"));
+                Ok(Some(addr))
+            }
+        }
     }
 
     /// kmalloc: first-fit from the free list.

@@ -34,6 +34,7 @@
 //! assert_eq!(k.call_function("add", &[2, 40]).unwrap(), 42);
 //! ```
 
+mod fault;
 mod kallsyms;
 mod kernel;
 mod loader;
@@ -41,6 +42,7 @@ mod mem;
 mod native;
 mod vm;
 
+pub use fault::{Fault, FaultPlan, FiredFault};
 pub use kallsyms::{KSym, Kallsyms};
 pub use kernel::{
     BootError, CallError, Kernel, Oops, RunExit, SpawnError, Thread, ThreadState, QUANTUM,

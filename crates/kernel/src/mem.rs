@@ -259,6 +259,57 @@ impl Memory {
         self.store(addr, &v.to_le_bytes())
     }
 
+    /// FNV-1a checksum over every *mapped* region: name, bounds, perms
+    /// and backing bytes. Two arenas with the same region table and the
+    /// same bytes under it hash identically; bytes left behind by
+    /// unmapped regions (the arena is a bump allocator) do not count.
+    ///
+    /// This is the "kernel memory image" the abandon path of
+    /// `ksplice-apply` must restore exactly: a clean abort unloads every
+    /// module it loaded and rolls back every byte it poked, so the
+    /// checksum before the apply equals the checksum after the abort
+    /// (provided no kernel thread ran in between and dirtied its own
+    /// stack or data).
+    pub fn image_checksum(&self) -> u64 {
+        self.checksum_where(|_| true)
+    }
+
+    /// [`Memory::image_checksum`] restricted to executable regions — the
+    /// kernel's *text*. Threads running between stop_machine attempts
+    /// legitimately dirty data and stacks, but a clean abort must leave
+    /// every byte of mapped text untouched: no half-written trampolines,
+    /// no leftover module code. This is the checksum the apply/undo
+    /// abort paths verify.
+    pub fn text_checksum(&self) -> u64 {
+        self.checksum_where(|r| r.perms.exec)
+    }
+
+    fn checksum_where(&self, keep: impl Fn(&Region) -> bool) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut byte = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for r in self.regions.iter().filter(|r| keep(r)) {
+            for b in r.name.as_bytes() {
+                byte(*b);
+            }
+            for word in [r.start, r.size] {
+                for b in word.to_le_bytes() {
+                    byte(b);
+                }
+            }
+            byte(u8::from(r.perms.read) | u8::from(r.perms.write) << 1 | u8::from(r.perms.exec) << 2);
+            let lo = (r.start - KBASE) as usize;
+            for b in &self.bytes[lo..lo + r.size as usize] {
+                byte(*b);
+            }
+        }
+        h
+    }
+
     /// Reads a NUL-terminated string (privileged; capped at 4096 bytes).
     pub fn read_cstr(&self, addr: u64) -> Result<String, MemFault> {
         let mut out = Vec::new();
@@ -343,6 +394,36 @@ mod tests {
             .is_none());
         assert!(m.alloc_region("all", MEM_SIZE, 8, Perms::DATA).is_some());
         assert!(m.alloc_region("more", 8, 8, Perms::DATA).is_none());
+    }
+
+    #[test]
+    fn checksums_track_mapped_bytes_only() {
+        let mut m = Memory::new();
+        let t = m.alloc_region("text", 64, 16, Perms::TEXT).unwrap();
+        let d = m.alloc_region("data", 64, 16, Perms::DATA).unwrap();
+        let image = m.image_checksum();
+        let text = m.text_checksum();
+        // Data writes move the image checksum but not the text checksum.
+        m.store_u64(d, 42).unwrap();
+        assert_ne!(m.image_checksum(), image);
+        assert_eq!(m.text_checksum(), text);
+        // A trampoline-style poke moves both; restoring the byte restores
+        // both.
+        let saved = m.peek(t, 1).unwrap()[0];
+        m.poke(t, &[0xe9]).unwrap();
+        assert_ne!(m.text_checksum(), text);
+        m.poke(t, &[saved]).unwrap();
+        assert_eq!(m.text_checksum(), text);
+        // Mapping a module region changes the checksums; unmapping it
+        // restores them even though the arena bytes remain.
+        let image = m.image_checksum();
+        let text = m.text_checksum();
+        let mo = m.alloc_region("mod:a", 32, 16, Perms::TEXT).unwrap();
+        m.poke(mo, &[1, 2, 3]).unwrap();
+        assert_ne!(m.text_checksum(), text);
+        m.unmap_prefix("mod:");
+        assert_eq!(m.image_checksum(), image);
+        assert_eq!(m.text_checksum(), text);
     }
 
     #[test]

@@ -12,17 +12,26 @@ use crate::json::{self, parse_json_object, JsonValue};
 /// `Bench` cover the tooling around the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Stage {
+    /// `ksplice-create`: patch → update pack (§5.1).
     Create,
+    /// Pre-post object differencing (§3).
     Differ,
+    /// Run-pre matching and symbol recovery (§4).
     RunPre,
+    /// Applying an update under `stop_machine` (§5.2).
     Apply,
+    /// Reversing a live update.
     Undo,
+    /// Update-stream packaging and delivery (§8).
     Stream,
+    /// Command-line tooling around the pipeline.
     Cli,
+    /// Benchmark and evaluation harnesses.
     Bench,
 }
 
 impl Stage {
+    /// Every stage, in taxonomy order.
     pub const ALL: [Stage; 8] = [
         Stage::Create,
         Stage::Differ,
@@ -34,6 +43,7 @@ impl Stage {
         Stage::Bench,
     ];
 
+    /// The lowercase wire name (`"apply"`, `"runpre"`, …).
     pub fn as_str(self) -> &'static str {
         match self {
             Stage::Create => "create",
@@ -47,6 +57,7 @@ impl Stage {
         }
     }
 
+    /// Inverse of [`Stage::as_str`].
     pub fn parse(s: &str) -> Option<Stage> {
         Stage::ALL.into_iter().find(|st| st.as_str() == s)
     }
@@ -61,13 +72,18 @@ impl fmt::Display for Stage {
 /// Event severity, ordered: `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Per-attempt detail; hidden by default in human output.
     Debug,
+    /// Normal pipeline milestones.
     Info,
+    /// Recoverable trouble (a failed stack check that will retry).
     Warn,
+    /// An abort or verification failure.
     Error,
 }
 
 impl Severity {
+    /// The lowercase wire name (`"debug"`, `"info"`, …).
     pub fn as_str(self) -> &'static str {
         match self {
             Severity::Debug => "debug",
@@ -77,6 +93,7 @@ impl Severity {
         }
     }
 
+    /// Inverse of [`Severity::as_str`].
     pub fn parse(s: &str) -> Option<Severity> {
         match s {
             "debug" => Some(Severity::Debug),
@@ -97,13 +114,18 @@ impl fmt::Display for Severity {
 /// A typed field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// An unsigned count, address, or step reading.
     U64(u64),
+    /// A signed quantity (deltas, offsets).
     I64(i64),
+    /// A flag, e.g. `restored` on rollback verification.
     Bool(bool),
+    /// Free text: names, details, messages.
     Str(String),
 }
 
 impl Value {
+    /// The value as a `u64`; in-range `I64`s convert.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::U64(v) => Some(*v),
@@ -112,6 +134,7 @@ impl Value {
         }
     }
 
+    /// The value as a string slice, for `Str` only.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -119,6 +142,7 @@ impl Value {
         }
     }
 
+    /// The value as a bool, for `Bool` only.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -197,10 +221,13 @@ pub struct Event {
     /// Kernel step-clock reading when emitted (0 when no kernel is
     /// involved, e.g. create-time differencing).
     pub ts_steps: u64,
+    /// Which pipeline stage emitted the event.
     pub stage: Stage,
+    /// How serious the event is.
     pub severity: Severity,
     /// Dotted event name, e.g. `runpre.mismatch`.
     pub name: String,
+    /// Typed key/value payload, in emission order.
     pub fields: Vec<(String, Value)>,
 }
 

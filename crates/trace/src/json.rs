@@ -32,9 +32,13 @@ pub fn escape(s: &str) -> String {
 /// A parsed JSON value (the subset the trace formats use).
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
+    /// A non-negative integer.
     U64(u64),
+    /// A negative integer.
     I64(i64),
+    /// `true` or `false`.
     Bool(bool),
+    /// A string.
     Str(String),
     /// Objects keep insertion order; arrays are represented as objects
     /// with index keys would be overkill — the formats never nest arrays,

@@ -23,6 +23,8 @@
 //! names delegate with [`Tracer::disabled`], which short-circuits to
 //! nothing so the hot paths pay one branch.
 
+#![deny(missing_docs)]
+
 mod event;
 mod json;
 mod metrics;

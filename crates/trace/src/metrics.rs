@@ -9,14 +9,17 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// An empty counter table.
     pub fn new() -> Counters {
         Counters::default()
     }
 
+    /// Adds `n` to the named counter, creating it at zero first.
     pub fn add(&mut self, name: &str, n: u64) {
         *self.table.entry(name.to_string()).or_insert(0) += n;
     }
 
+    /// Reads a counter; absent names read as zero.
     pub fn get(&self, name: &str) -> u64 {
         self.table.get(name).copied().unwrap_or(0)
     }
@@ -28,14 +31,17 @@ impl Counters {
         }
     }
 
+    /// All counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.table.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// How many distinct counters exist.
     pub fn len(&self) -> usize {
         self.table.len()
     }
 
+    /// True when no counter has been touched.
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
@@ -67,10 +73,12 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram.
     pub fn new() -> Histogram {
         Histogram::default()
     }
 
+    /// Records one observation.
     pub fn record(&mut self, value: u64) {
         let bucket = 64 - value.leading_zeros() as usize; // bit length
         self.buckets[bucket] += 1;
@@ -95,14 +103,17 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Number of observations recorded.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Saturating sum of all observations.
     pub fn sum(&self) -> u64 {
         self.sum
     }
 
+    /// Smallest observation, or 0 when empty.
     pub fn min(&self) -> u64 {
         if self.count == 0 {
             0
@@ -111,10 +122,12 @@ impl Histogram {
         }
     }
 
+    /// Largest observation, or 0 when empty.
     pub fn max(&self) -> u64 {
         self.max
     }
 
+    /// Arithmetic mean, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0

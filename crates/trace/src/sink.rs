@@ -10,7 +10,9 @@ use crate::event::{Event, Severity};
 /// Where events go. Implementations must be cheap: `record` runs inside
 /// the pipeline, including between stop_machine attempts.
 pub trait Sink: Send {
+    /// Accepts one event. Must not panic or block the pipeline.
     fn record(&mut self, event: &Event);
+    /// Flushes any buffered output; the default does nothing.
     fn flush(&mut self) {}
 }
 
@@ -24,6 +26,7 @@ pub struct RingSink {
 }
 
 impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
     pub fn new(capacity: usize) -> RingSink {
         RingSink {
             capacity: capacity.max(1),
@@ -66,10 +69,12 @@ impl RingHandle {
             .collect()
     }
 
+    /// How many events are currently buffered.
     pub fn len(&self) -> usize {
         self.buf.lock().expect("ring lock").len()
     }
 
+    /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -111,6 +116,7 @@ impl JsonlSink<BufWriter<File>> {
 }
 
 impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer as a JSONL sink.
     pub fn new(w: W) -> JsonlSink<W> {
         JsonlSink { w }
     }
@@ -135,6 +141,7 @@ pub struct HumanSink<W: Write> {
 }
 
 impl HumanSink<io::Stdout> {
+    /// A renderer on stdout showing events at or above `min_severity`.
     pub fn stdout(min_severity: Severity) -> HumanSink<io::Stdout> {
         HumanSink {
             w: io::stdout(),
@@ -144,6 +151,7 @@ impl HumanSink<io::Stdout> {
 }
 
 impl HumanSink<io::Stderr> {
+    /// A renderer on stderr showing events at or above `min_severity`.
     pub fn stderr(min_severity: Severity) -> HumanSink<io::Stderr> {
         HumanSink {
             w: io::stderr(),
@@ -153,6 +161,7 @@ impl HumanSink<io::Stderr> {
 }
 
 impl<W: Write> HumanSink<W> {
+    /// Wraps any writer as a severity-filtered human renderer.
     pub fn new(w: W, min_severity: Severity) -> HumanSink<W> {
         HumanSink { w, min_severity }
     }
