@@ -1,0 +1,168 @@
+//! DESIGN §10 — the lifecycle manager's costs: the read-only pre-flight
+//! gate, the per-round overhead of the quarantine watch window, and the
+//! stop_machine pause of non-LIFO (re-pointing) vs LIFO undo.
+//!
+//! The instrumented section prints the headline numbers and dumps them
+//! to BENCH_lifecycle.json before handing the hot loops to Criterion.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_bench::{boot_eval_kernel, pack_for, small_cve};
+use ksplice_core::{
+    preflight, ApplyOptions, HealthProbe, Ksplice, Tracer, UpdateManager, UpdatePack, WatchPolicy,
+};
+use ksplice_eval::{corpus, DISJOINT_STACK};
+
+/// Steps per watch round used throughout (the `WatchPolicy` default).
+const STEPS_PER_ROUND: u64 = 2_000;
+
+/// Applies `pack` under a watch window of `rounds` rounds and returns
+/// the wall-clock of the whole `apply_watched` call.
+fn watched_apply(pack: &UpdatePack, rounds: u32) -> Duration {
+    let mut kernel = boot_eval_kernel();
+    let mut mgr = UpdateManager::with_watch(WatchPolicy {
+        rounds,
+        steps_per_round: STEPS_PER_ROUND,
+    });
+    let mut probes = vec![HealthProbe::canary("sys_getuid", &[], 0)];
+    let t = Instant::now();
+    mgr.apply_watched(
+        &mut kernel,
+        pack,
+        &mut probes,
+        &ApplyOptions::default(),
+        &mut Tracer::disabled(),
+    )
+    .expect("watched apply");
+    t.elapsed()
+}
+
+/// Boots a kernel and stacks the three disjoint corpus updates on it.
+fn stacked() -> (ksplice_kernel::Kernel, Ksplice, Vec<&'static str>) {
+    let cases = corpus();
+    let mut kernel = boot_eval_kernel();
+    let mut ks = Ksplice::new();
+    for id in DISJOINT_STACK {
+        let case = cases.iter().find(|c| c.id == id).expect("corpus entry");
+        let (pack, _) = pack_for(case);
+        ks.apply(&mut kernel, &pack, &ApplyOptions::default())
+            .expect("stack apply");
+    }
+    (kernel, ks, DISJOINT_STACK.to_vec())
+}
+
+fn bench(c: &mut Criterion) {
+    let case = small_cve();
+    let (pack, _) = pack_for(&case);
+
+    // 1. Pre-flight gate: read-only, so one kernel serves every pass.
+    let kernel = boot_eval_kernel();
+    let ks = Ksplice::new();
+    let iters = 200u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        preflight(&ks, &kernel, &pack, &mut Tracer::disabled()).expect("preflight");
+    }
+    let preflight_ns = t.elapsed().as_nanos() as u64 / u64::from(iters);
+
+    // 2. Watch window: the marginal cost of one probe round is the slope
+    // between a 1-round and a 41-round window (same apply amortised
+    // out). Min-of-3 on each end keeps scheduler noise, which is larger
+    // than a single round, out of the subtraction.
+    let t1 = (0..3).map(|_| watched_apply(&pack, 1)).min().unwrap();
+    let t41 = (0..3).map(|_| watched_apply(&pack, 41)).min().unwrap();
+    let per_round_ns = (t41.saturating_sub(t1)).as_nanos() as u64 / 40;
+
+    // 3. Undo pause: the newest update reverses the ordinary LIFO way;
+    // a mid-stack update goes through the re-pointing path. Both pauses
+    // are the successful stop_machine window, straight off the report.
+    let (mut kernel, mut ks_lifo, ids) = stacked();
+    let lifo = ks_lifo
+        .undo_any_traced(
+            &mut kernel,
+            ids[2],
+            &ApplyOptions::default(),
+            &mut Tracer::disabled(),
+        )
+        .expect("LIFO undo");
+    let (mut kernel, mut ks_mid, ids) = stacked();
+    let non_lifo = ks_mid
+        .undo_any_traced(
+            &mut kernel,
+            ids[1],
+            &ApplyOptions::default(),
+            &mut Tracer::disabled(),
+        )
+        .expect("non-LIFO undo");
+
+    println!(
+        "\n== lifecycle: preflight {preflight_ns} ns, watch round ({STEPS_PER_ROUND} steps + 1 canary) {per_round_ns} ns, \
+undo pause LIFO {:?} vs non-LIFO {:?} ==\n",
+        lifo.pause, non_lifo.pause
+    );
+    std::fs::write(
+        "BENCH_lifecycle.json",
+        format!(
+            "{{\n  \"preflight_ns\": {preflight_ns},\n  \"watch_round_ns\": {per_round_ns},\n  \
+\"watch_steps_per_round\": {STEPS_PER_ROUND},\n  \
+\"watch_rounds_measured\": [1, 41],\n  \
+\"undo_pause_lifo_ns\": {},\n  \"undo_pause_non_lifo_ns\": {},\n  \
+\"undo_lifo_id\": \"{}\",\n  \"undo_non_lifo_id\": \"{}\"\n}}\n",
+            lifo.pause.as_nanos(),
+            non_lifo.pause.as_nanos(),
+            ids[2],
+            ids[1],
+        ),
+    )
+    .expect("write BENCH_lifecycle.json");
+
+    c.bench_function("lifecycle/preflight", |b| {
+        b.iter(|| preflight(&ks, &kernel, &pack, &mut Tracer::disabled()).unwrap())
+    });
+
+    c.bench_function("lifecycle/watch_window_1_round", |b| {
+        b.iter_batched(
+            boot_eval_kernel,
+            |mut kernel| {
+                let mut mgr = UpdateManager::with_watch(WatchPolicy {
+                    rounds: 1,
+                    steps_per_round: STEPS_PER_ROUND,
+                });
+                let mut probes = vec![HealthProbe::canary("sys_getuid", &[], 0)];
+                mgr.apply_watched(
+                    &mut kernel,
+                    &pack,
+                    &mut probes,
+                    &ApplyOptions::default(),
+                    &mut Tracer::disabled(),
+                )
+                .unwrap();
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    c.bench_function("lifecycle/undo_any_mid_stack", |b| {
+        b.iter_batched(
+            stacked,
+            |(mut kernel, mut ks, ids)| {
+                ks.undo_any_traced(
+                    &mut kernel,
+                    ids[1],
+                    &ApplyOptions::default(),
+                    &mut Tracer::disabled(),
+                )
+                .unwrap();
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -30,7 +30,8 @@ use std::process::ExitCode;
 
 use ksplice_core::trace::{Event, HumanSink, JsonlSink, Severity, Stage, Tracer, Value};
 use ksplice_core::{
-    create_update_traced, ApplyOptions, CreateOptions, Ksplice, RetryPolicy, UpdatePack,
+    create_update_traced, ApplyOptions, CreateOptions, HealthProbe, Ksplice, RetryPolicy,
+    UpdateManager, UpdatePack, WatchPolicy,
 };
 use ksplice_eval::{base_tree, corpus, run_exploit};
 use ksplice_kernel::{Fault, Kernel};
@@ -71,21 +72,27 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("demo") => cmd_demo(&args[1..], &mut tracer),
         Some("eval") => cmd_eval(&args[1..], &mut tracer),
+        Some("status") => cmd_status(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|list|report> [options]\n\
+                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|status|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>] [--retry-policy <spec>] [--fault <site>]... [--fault-seed <n>]\
+                 \n          [--watch-rounds <n>] [--probe <fn(args)=expected>]... [--undo]\
                  \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>]\
+                 \n  status  [--cve <id>]... [--undo <id>] [--watch-rounds <n>]\
                  \n  list\
                  \n  report  <trace.jsonl>\
                  \n\
                  \n  retry-policy spec: fixed:ATTEMPTS:DELAY | exp:ATTEMPTS:INITIAL:MAX, with\
                  \n  optional :jPCT (jitter) and :cSTEPS (abandon cooldown) modifiers\
-                 \n  fault sites (dev): stack-busy:N | module-load:N | corrupt-text[:0xADDR] | step-jitter:N"
+                 \n  fault sites (dev): stack-busy:N | module-load:N | corrupt-text[:0xADDR] |\
+                 \n  step-jitter:N | probe-fail:N\
+                 \n  probe spec: canary call + expected result, e.g. sys_getuid()=1000; with\
+                 \n  --watch-rounds the update is quarantined and auto-rolled-back on failure"
             );
             return ExitCode::from(2);
         }
@@ -237,6 +244,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let id = flag_value(args, "--cve").unwrap_or("CVE-2006-2451");
     let apply_opts = retry_policy_arg(args)?;
+    let watch_rounds: Option<u32> = flag_value(args, "--watch-rounds")
+        .map(|s| s.parse().map_err(|_| "bad --watch-rounds value".to_string()))
+        .transpose()?;
+    let probe_specs = flag_values(args, "--probe");
+    let do_undo = args.iter().any(|a| a == "--undo");
+    let watched = watch_rounds.is_some() || !probe_specs.is_empty();
     let faults: Vec<Fault> = flag_values(args, "--fault")
         .into_iter()
         .map(Fault::parse)
@@ -299,6 +312,60 @@ fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
             },
         );
     }
+    if watched {
+        // Lifecycle path: preflight, apply, quarantine under probes,
+        // auto-rollback on failure — driven by the UpdateManager.
+        let mut probes: Vec<HealthProbe> = probe_specs
+            .iter()
+            .map(|s| HealthProbe::parse(s))
+            .collect::<Result<_, _>>()?;
+        if case.exploit.is_some() {
+            // The exploit itself doubles as a health probe: a healthy
+            // patched kernel must defeat it every round.
+            let c = case.clone();
+            probes.push(HealthProbe::Custom {
+                name: format!("exploit:{id}"),
+                check: Box::new(move |k: &mut Kernel| match run_exploit(k, &c) {
+                    Some(true) => Err("exploit still succeeds".to_string()),
+                    _ => Ok(()),
+                }),
+            });
+        }
+        let mut mgr = UpdateManager::with_watch(WatchPolicy {
+            rounds: watch_rounds.unwrap_or(3),
+            ..WatchPolicy::default()
+        });
+        let report =
+            match mgr.apply_watched(&mut kernel, &pack, &mut probes, &apply_opts, tracer) {
+                Ok(r) => r,
+                Err(e) => {
+                    kernel.faults.disarm();
+                    print!("{}", mgr.render_status());
+                    return Err(e.to_string());
+                }
+            };
+        kernel.faults.disarm();
+        note(
+            tracer,
+            "cli.applied",
+            format!(
+                "hot update committed after {} healthy watch round(s): {} function(s) \
+                 replaced in {} attempt(s)",
+                mgr.watch().rounds,
+                pack.replaced_fn_count(),
+                report.attempts
+            ),
+        );
+        if do_undo {
+            let undo = mgr
+                .undo_any(&mut kernel, case.id, &apply_opts, tracer)
+                .map_err(|e| e.to_string())?;
+            print!("{}", undo.render());
+        }
+        print!("{}", mgr.render_status());
+        note(tracer, "cli.done", "Done!".into());
+        return Ok(());
+    }
     let mut ks = Ksplice::new();
     let report = ks
         .apply_traced(&mut kernel, &pack, &apply_opts, tracer)
@@ -331,7 +398,78 @@ fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
             ),
         );
     }
+    if do_undo {
+        let undo = ks
+            .undo_traced(&mut kernel, case.id, &apply_opts, tracer)
+            .map_err(|e| e.to_string())?;
+        print!("{}", undo.render());
+    }
     note(tracer, "cli.done", "Done!".into());
+    Ok(())
+}
+
+/// `ksplice status`: boots a kernel, hot-applies a stack of updates
+/// through the lifecycle manager, optionally reverses one of them (in
+/// any order — non-LIFO reversals re-point trampoline chains), and
+/// prints the lifecycle table.
+fn cmd_status(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
+    let apply_opts = retry_policy_arg(args)?;
+    let mut ids: Vec<&str> = flag_values(args, "--cve");
+    if ids.is_empty() {
+        // Three corpus entries patching disjoint units, so they stack
+        // and reverse independently.
+        ids = vec!["CVE-2006-2451", "CVE-2005-0750", "CVE-2005-4605"];
+    }
+    let watch_rounds: Option<u32> = flag_value(args, "--watch-rounds")
+        .map(|s| s.parse().map_err(|_| "bad --watch-rounds value".to_string()))
+        .transpose()?;
+    let undo_id = flag_value(args, "--undo");
+
+    let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
+    tracer.set_now(kernel.steps);
+    let mut mgr = UpdateManager::with_watch(WatchPolicy {
+        rounds: watch_rounds.unwrap_or(1),
+        ..WatchPolicy::default()
+    });
+    for id in &ids {
+        let case = corpus()
+            .into_iter()
+            .find(|c| c.id == *id)
+            .ok_or_else(|| format!("unknown CVE `{id}` (try `ksplice list`)"))?;
+        let opts = CreateOptions {
+            accept_data_changes: case.needs_custom_code(),
+            ..CreateOptions::default()
+        };
+        let patch = if case.needs_custom_code() {
+            case.full_patch_text()
+        } else {
+            case.patch_text()
+        };
+        let (pack, _) = create_update_traced(case.id, &base_tree(), &patch, &opts, tracer)
+            .map_err(|e| e.to_string())?;
+        let mut probes: Vec<HealthProbe> = Vec::new();
+        if case.exploit.is_some() {
+            let c = case.clone();
+            probes.push(HealthProbe::Custom {
+                name: format!("exploit:{id}"),
+                check: Box::new(move |k: &mut Kernel| match run_exploit(k, &c) {
+                    Some(true) => Err("exploit still succeeds".to_string()),
+                    _ => Ok(()),
+                }),
+            });
+        }
+        if let Err(e) = mgr.apply_watched(&mut kernel, &pack, &mut probes, &apply_opts, tracer) {
+            print!("{}", mgr.render_status());
+            return Err(e.to_string());
+        }
+    }
+    if let Some(id) = undo_id {
+        let undo = mgr
+            .undo_any(&mut kernel, id, &apply_opts, tracer)
+            .map_err(|e| e.to_string())?;
+        print!("{}", undo.render());
+    }
+    print!("{}", mgr.render_status());
     Ok(())
 }
 

@@ -38,6 +38,57 @@ fn demo_defeats_the_default_exploit() {
 }
 
 #[test]
+fn watched_demo_commits_and_undoes() {
+    let out = ksplice()
+        .args(["demo", "--watch-rounds", "2", "--undo"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("watch.start"));
+    assert!(text.contains("committed after 2 healthy watch round(s)"));
+    assert!(text.contains("site(s) restored"));
+    assert!(text.contains("reversed"));
+}
+
+#[test]
+fn watched_demo_rolls_back_on_failing_probe() {
+    // A probe demanding uid 1000 from a fresh thread (uid 0) always
+    // fails, so quarantine must auto-roll-back and exit nonzero.
+    let out = ksplice()
+        .args(["demo", "--watch-rounds", "1", "--probe", "sys_getuid()=1000"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("watch.auto_rollback"));
+    assert!(text.contains("rolled-back"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed quarantine"));
+}
+
+#[test]
+fn status_stacks_updates_and_reverses_mid_stack() {
+    let out = ksplice()
+        .args(["status", "--undo", "CVE-2005-0750", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CVE-2006-2451  committed"));
+    assert!(text.contains("CVE-2005-0750  reversed"));
+    assert!(text.contains("CVE-2005-4605  committed"));
+    assert!(text.contains("site(s) restored"));
+}
+
+#[test]
 fn create_and_inspect_roundtrip() {
     let dir = std::env::temp_dir().join(format!("ksplice-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -80,6 +80,11 @@ pub struct AppliedUpdate {
     pub primary_modules: Vec<String>,
     /// Hook addresses resolved at apply time (reverse hooks run on undo).
     pub hooks: ResolvedHooks,
+    /// Relocation targets fulfilled into the primary modules at apply
+    /// time, as `(symbol, resolved_addr)` pairs. The non-LIFO undo
+    /// dependency check walks these to find references that point into
+    /// an older update's loaded code.
+    pub fulfilled_relocs: Vec<(String, u64)>,
     /// Set once reversed; a reversed update stays in history.
     pub reversed: bool,
 }
@@ -240,6 +245,17 @@ pub struct UndoReport {
     pub sites_restored: usize,
 }
 
+impl UndoReport {
+    /// Human-readable multi-line rendering, the reversal mirror of
+    /// [`ApplyReport::render`] (`ksplice demo --undo`, `ksplice status`).
+    pub fn render(&self) -> String {
+        format!(
+            "update {}: {} site(s) restored after {} stop_machine attempt(s), pause {:?}\n",
+            self.id, self.sites_restored, self.attempts, self.pause
+        )
+    }
+}
+
 /// Errors from undo.
 #[derive(Debug)]
 pub enum UndoError {
@@ -266,6 +282,17 @@ pub enum UndoError {
         /// What went wrong, for the operator.
         detail: String,
     },
+    /// A later live update holds references into this one's loaded code,
+    /// so reversing it out of order would leave dangling targets. The
+    /// caller must reverse the dependent update first.
+    Entangled {
+        /// The id the caller asked to undo.
+        id: String,
+        /// The later live update that depends on it.
+        dependent: String,
+        /// The symbols/functions whose references tie the two together.
+        functions: Vec<String>,
+    },
 }
 
 impl fmt::Display for UndoError {
@@ -281,6 +308,15 @@ impl fmt::Display for UndoError {
                 "replacement `{fn_name}` busy on thread {tid}'s stack after {attempts} attempts; undo abandoned"
             ),
             UndoError::Hook { kind, detail } => write!(f, "{kind} hook failed: {detail}"),
+            UndoError::Entangled {
+                id,
+                dependent,
+                functions,
+            } => write!(
+                f,
+                "cannot undo {id}: live update {dependent} depends on it via [{}]; reverse {dependent} first",
+                functions.join(", ")
+            ),
         }
     }
 }
@@ -305,16 +341,6 @@ impl Ksplice {
     /// The live (applied, not reversed) updates, oldest first.
     pub fn live_updates(&self) -> impl Iterator<Item = &AppliedUpdate> {
         self.updates.iter().filter(|u| !u.reversed)
-    }
-
-    /// For re-patching (§5.4): the latest replacement address for a
-    /// function previously patched in `unit`, if any.
-    fn latest_replacement(&self, unit: &str, fn_name: &str) -> Option<u64> {
-        self.live_updates()
-            .flat_map(|u| &u.sites)
-            .filter(|s| s.unit == unit && s.fn_name == fn_name)
-            .last()
-            .map(|s| s.replacement_addr)
     }
 
     /// `ksplice-apply`: applies a pack to the running kernel.
@@ -397,10 +423,15 @@ impl Ksplice {
         // 2. Run-pre match every affected unit.
         let mut matches: BTreeMap<String, UnitMatch> = BTreeMap::new();
         for up in &pack.units {
+            // §5.4: every function of this unit previously patched by a
+            // live update must be matched against its *latest* replacement
+            // code — both functions this pack replaces again and functions
+            // it merely calls. Live updates iterate oldest first, so later
+            // inserts win and the map holds the newest replacement.
             let mut overrides = BTreeMap::new();
-            for (_, fn_name) in &up.replaced_fns {
-                if let Some(addr) = self.latest_replacement(&up.unit, fn_name) {
-                    overrides.insert(fn_name.clone(), addr);
+            for live in self.live_updates() {
+                for s in live.sites.iter().filter(|s| s.unit == up.unit) {
+                    overrides.insert(s.fn_name.clone(), s.replacement_addr);
                 }
             }
             match match_unit_traced(kernel, &up.helper, &overrides, tracer) {
@@ -466,6 +497,7 @@ impl Ksplice {
                 kernel.rmmod(n);
             }
         };
+        let mut fulfilled_relocs: Vec<(String, u64)> = Vec::new();
         for (unit, loaded, _) in &primaries {
             let um = &matches[unit];
             let mut fulfilled = 0u64;
@@ -516,6 +548,7 @@ impl Ksplice {
                     );
                     return Err(ApplyError::Link(e));
                 }
+                fulfilled_relocs.push((pending.symbol.clone(), s));
                 fulfilled += 1;
             }
             tracer.count("apply.relocs_fulfilled", fulfilled);
@@ -826,6 +859,7 @@ impl Ksplice {
             sites,
             primary_modules: primary_names,
             hooks,
+            fulfilled_relocs,
             reversed: false,
         });
         Ok(report)
@@ -835,6 +869,8 @@ impl Ksplice {
     ///
     /// Only the top of the live stack may be reversed — an older update's
     /// replacement code may be the *site* of a newer one's trampoline.
+    /// [`Ksplice::undo_any_traced`] lifts that restriction by re-pointing
+    /// trampoline chains.
     pub fn undo(
         &mut self,
         kernel: &mut Kernel,
@@ -1074,7 +1110,7 @@ impl Ksplice {
 }
 
 /// Why one stop_machine capture window was abandoned.
-enum StopError {
+pub(crate) enum StopError {
     /// The §5.2 stack check found `fn_name` on thread `tid`'s stack.
     Busy { tid: u64, fn_name: String },
     /// A stopped-machine hook failed.
@@ -1084,7 +1120,7 @@ enum StopError {
 /// Runs the abandon-path cooldown, if the policy asks for one: gives
 /// blocked threads `steps` instructions to drain after the rollback,
 /// before the failure is reported.
-fn cooldown(kernel: &mut Kernel, tracer: &mut Tracer, stage: Stage, steps: u64) {
+pub(crate) fn cooldown(kernel: &mut Kernel, tracer: &mut Tracer, stage: Stage, steps: u64) {
     if steps == 0 {
         return;
     }
@@ -1102,10 +1138,16 @@ fn cooldown(kernel: &mut Kernel, tracer: &mut Tracer, stage: Stage, steps: u64) 
 /// `*.rollback_verified` event either way; a mismatch is an `Error`
 /// event plus a `rollback.text_mismatch` count, never a panic — the
 /// kernel must limp on so the operator can inspect it.
-fn verify_text_restored(kernel: &Kernel, tracer: &mut Tracer, stage: Stage, expected: u64) -> bool {
+pub(crate) fn verify_text_restored(
+    kernel: &Kernel,
+    tracer: &mut Tracer,
+    stage: Stage,
+    expected: u64,
+) -> bool {
     let restored = kernel.mem.text_checksum() == expected;
     let name = match stage {
         Stage::Undo => "undo.rollback_verified",
+        Stage::Watch => "watch.rollback_verified",
         _ => "apply.rollback_verified",
     };
     tracer.emit(
@@ -1128,7 +1170,10 @@ fn verify_text_restored(kernel: &Kernel, tracer: &mut Tracer, stage: Stage, expe
 /// if any — the §5.2 safety condition over instruction pointers and
 /// return addresses. An armed stack-busy fault reports a synthetic
 /// occupant first, exercising the retry/abandon machinery on demand.
-fn busy_function(kernel: &mut Kernel, ranges: &[(u64, u64, String)]) -> Option<(u64, String)> {
+pub(crate) fn busy_function(
+    kernel: &mut Kernel,
+    ranges: &[(u64, u64, String)],
+) -> Option<(u64, String)> {
     if let Some(hit) = kernel.faults.stack_check_busy(ranges) {
         return Some(hit);
     }
@@ -1145,7 +1190,7 @@ fn busy_function(kernel: &mut Kernel, ranges: &[(u64, u64, String)]) -> Option<(
 }
 
 /// Writes the redirecting jump at a replaced function's entry.
-fn write_trampoline(kernel: &mut Kernel, site: u64, target: u64) {
+pub(crate) fn write_trampoline(kernel: &mut Kernel, site: u64, target: u64) {
     let rel = target.wrapping_sub(site + TRAMPOLINE_LEN as u64) as i64;
     let rel = i32::try_from(rel).expect("arena spans < 2 GiB");
     let mut bytes = Vec::with_capacity(TRAMPOLINE_LEN);
@@ -1199,7 +1244,11 @@ fn resolve_hooks(
 }
 
 /// Runs all hooks of a kind; a non-zero return or an oops aborts.
-fn run_hooks(kernel: &mut Kernel, hooks: &ResolvedHooks, kind: HookKind) -> Result<(), ApplyError> {
+pub(crate) fn run_hooks(
+    kernel: &mut Kernel,
+    hooks: &ResolvedHooks,
+    kind: HookKind,
+) -> Result<(), ApplyError> {
     for &addr in hooks.of(kind) {
         call_hook(kernel, addr).map_err(|detail| ApplyError::Hook {
             kind: kind.macro_name(),
@@ -1209,7 +1258,7 @@ fn run_hooks(kernel: &mut Kernel, hooks: &ResolvedHooks, kind: HookKind) -> Resu
     Ok(())
 }
 
-fn call_hook(kernel: &mut Kernel, addr: u64) -> Result<(), String> {
+pub(crate) fn call_hook(kernel: &mut Kernel, addr: u64) -> Result<(), String> {
     match kernel.call_at(addr, &[]) {
         Ok(0) => Ok(()),
         Ok(code) => Err(format!("hook returned {code}")),

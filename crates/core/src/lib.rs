@@ -58,6 +58,7 @@
 pub mod apply;
 pub mod create;
 pub mod differ;
+pub mod manager;
 pub mod package;
 pub mod retry;
 pub mod runpre;
@@ -66,6 +67,10 @@ pub mod stream;
 pub use apply::{
     AppliedUpdate, ApplyError, ApplyOptions, ApplyReport, Ksplice, PatchSite, ResolvedHooks,
     UndoError, UndoReport, TRAMPOLINE_LEN,
+};
+pub use manager::{
+    preflight, HealthProbe, LifecycleError, PreflightError, ProbeCheck, UpdateManager,
+    UpdateState, UpdateStatus, WatchPolicy,
 };
 pub use retry::{Backoff, RetryPolicy};
 pub use create::{

@@ -1,0 +1,1144 @@
+//! The update lifecycle manager: pre-flight validation, a health-probed
+//! quarantine window with automatic rollback, and non-LIFO reversal of
+//! stacked updates.
+//!
+//! The paper treats `ksplice-apply`/`ksplice-undo` as one-shot operations
+//! (§5), but its own evaluation keeps 64 CVE updates live on
+//! long-running kernels (§5.4, §6). Operating that fleet needs a
+//! *lifecycle* around the one-shot primitives:
+//!
+//! * **Pre-flight gate** ([`preflight`]): a package is validated against
+//!   the pack's own internal consistency, the live update set, and the
+//!   kernel's symbol table *before* any kernel mutation. A rejected pack
+//!   never loads a module and never reaches `stop_machine`.
+//! * **Watch window** ([`UpdateManager::apply_watched`]): a freshly
+//!   applied update starts [`UpdateState::Quarantined`]. Caller-supplied
+//!   [`HealthProbe`]s run against the patched kernel for a configurable
+//!   number of probe rounds (the kernel scheduler advances between
+//!   rounds, so probes execute under the step clock). Any failure — a
+//!   canary returning the wrong value, a custom check failing, or a new
+//!   oops — triggers an automatic, checksum-verified rollback and the
+//!   update ends [`UpdateState::RolledBack`]. Only a clean window
+//!   promotes it to [`UpdateState::Committed`].
+//! * **Non-LIFO undo** ([`Ksplice::undo_any_traced`]): reversing update
+//!   A while a later update B is live re-points B's trampoline chain
+//!   (B's patch site *is* A's replacement code when both patch the same
+//!   function, §5.4) instead of refusing. A dependency check still
+//!   refuses truly entangled reversals — B holding relocated references
+//!   into A's loaded code — with [`UndoError::Entangled`] naming the
+//!   tying symbols.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ksplice_kernel::{native_addr, Kernel};
+use ksplice_lang::HookKind;
+use ksplice_trace::{Severity, Stage, Tracer};
+
+use crate::apply::{
+    busy_function, call_hook, cooldown, run_hooks, verify_text_restored, write_trampoline,
+    ApplyError, ApplyOptions, ApplyReport, Ksplice, StopError, UndoError, UndoReport,
+    TRAMPOLINE_LEN,
+};
+use crate::package::UpdatePack;
+
+/// Errors from the pre-flight gate. None of these leave any trace in the
+/// kernel: a rejected pack never loads a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreflightError {
+    /// The pack's basic shape is wrong (empty id, no units, duplicate
+    /// unit names).
+    BadPack {
+        /// What is malformed, for the operator.
+        detail: String,
+    },
+    /// A replaced function is not defined by its unit's helper object,
+    /// so run-pre matching could never locate it.
+    MissingHelperSymbol {
+        /// The inconsistent unit.
+        unit: String,
+        /// The function the helper fails to define.
+        fn_name: String,
+    },
+    /// A replaced function's section is absent from the primary object,
+    /// so there is no replacement code to redirect to.
+    MissingPrimarySection {
+        /// The inconsistent unit.
+        unit: String,
+        /// The missing replacement section.
+        section: String,
+    },
+    /// The pack replaces the same function twice.
+    DuplicateInPack {
+        /// The doubly-replaced function.
+        fn_name: String,
+        /// The two units that both claim it.
+        units: (String, String),
+    },
+    /// A live update from a *different* unit already replaces this
+    /// function; applying both would chain trampolines across unrelated
+    /// packages. (Re-patching the same unit is the legitimate §5.4 case
+    /// and is allowed.)
+    Conflict {
+        /// The contested function.
+        fn_name: String,
+        /// The live update already patching it.
+        live_update: String,
+        /// The unit the live update patched it through.
+        unit: String,
+    },
+    /// A primary relocation references a symbol that no resolution path
+    /// could ever supply: not defined in the primary, not known to the
+    /// helper (so run-pre binding recovery cannot see it), not in
+    /// kallsyms, and not a kernel native.
+    UnknownRelocTarget {
+        /// The unit whose replacement code holds the relocation.
+        unit: String,
+        /// The unresolvable symbol.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for PreflightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreflightError::BadPack { detail } => write!(f, "malformed pack: {detail}"),
+            PreflightError::MissingHelperSymbol { unit, fn_name } => {
+                write!(f, "{unit}: helper does not define replaced fn `{fn_name}`")
+            }
+            PreflightError::MissingPrimarySection { unit, section } => {
+                write!(f, "{unit}: primary has no replacement section `{section}`")
+            }
+            PreflightError::DuplicateInPack { fn_name, units } => write!(
+                f,
+                "`{fn_name}` replaced twice in one pack (units {} and {})",
+                units.0, units.1
+            ),
+            PreflightError::Conflict {
+                fn_name,
+                live_update,
+                unit,
+            } => write!(
+                f,
+                "`{fn_name}` already patched by live update {live_update} via unit {unit}"
+            ),
+            PreflightError::UnknownRelocTarget { unit, symbol } => {
+                write!(f, "{unit}: no resolution path for reloc target `{symbol}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreflightError {}
+
+/// Validates a pack against itself, the live update set, and the
+/// kernel's symbol table, without touching kernel state. Emits
+/// `preflight.*` events: `preflight.start`, then `preflight.ok`,
+/// `preflight.supersedes` (the legitimate §5.4 same-unit re-patch) or an
+/// error-severity `preflight.reject` plus a `preflight.rejects` count.
+pub fn preflight(
+    ks: &Ksplice,
+    kernel: &Kernel,
+    pack: &UpdatePack,
+    tracer: &mut Tracer,
+) -> Result<(), PreflightError> {
+    tracer.emit(
+        Stage::Apply,
+        Severity::Debug,
+        "preflight.start",
+        vec![
+            ("id", pack.id.as_str().into()),
+            ("units", pack.units.len().into()),
+        ],
+    );
+    let result = preflight_inner(ks, kernel, pack, tracer);
+    match &result {
+        Ok(()) => tracer.emit(
+            Stage::Apply,
+            Severity::Debug,
+            "preflight.ok",
+            vec![("id", pack.id.as_str().into())],
+        ),
+        Err(e) => {
+            tracer.count("preflight.rejects", 1);
+            tracer.emit(
+                Stage::Apply,
+                Severity::Error,
+                "preflight.reject",
+                vec![
+                    ("id", pack.id.as_str().into()),
+                    ("msg", e.to_string().into()),
+                ],
+            );
+        }
+    }
+    result
+}
+
+fn preflight_inner(
+    ks: &Ksplice,
+    kernel: &Kernel,
+    pack: &UpdatePack,
+    tracer: &mut Tracer,
+) -> Result<(), PreflightError> {
+    // 1. Pack shape.
+    if pack.id.is_empty() {
+        return Err(PreflightError::BadPack {
+            detail: "empty update id".to_string(),
+        });
+    }
+    if pack.units.is_empty() {
+        return Err(PreflightError::BadPack {
+            detail: "no units".to_string(),
+        });
+    }
+    let mut unit_names: Vec<&str> = pack.units.iter().map(|u| u.unit.as_str()).collect();
+    unit_names.sort_unstable();
+    if let Some(w) = unit_names.windows(2).find(|w| w[0] == w[1]) {
+        return Err(PreflightError::BadPack {
+            detail: format!("duplicate unit `{}`", w[0]),
+        });
+    }
+
+    // 2. Helper/primary consistency per replaced function, and duplicate
+    //    detection within the pack.
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+    for up in &pack.units {
+        for (sec_name, fn_name) in &up.replaced_fns {
+            let defined = up
+                .helper
+                .symbol_by_name(fn_name)
+                .is_some_and(|(_, s)| s.def.is_some());
+            if !defined {
+                return Err(PreflightError::MissingHelperSymbol {
+                    unit: up.unit.clone(),
+                    fn_name: fn_name.clone(),
+                });
+            }
+            if up.primary.section_by_name(sec_name).is_none() {
+                return Err(PreflightError::MissingPrimarySection {
+                    unit: up.unit.clone(),
+                    section: sec_name.clone(),
+                });
+            }
+            if let Some(prev) = seen.insert(fn_name, &up.unit) {
+                return Err(PreflightError::DuplicateInPack {
+                    fn_name: fn_name.clone(),
+                    units: (prev.to_string(), up.unit.clone()),
+                });
+            }
+        }
+    }
+
+    // 3. Patch-site conflicts against the live update set. The same
+    //    function re-patched through the *same* unit is the §5.4
+    //    stacked-update case (run-pre will match the latest replacement);
+    //    through a different unit it is a conflict.
+    for up in &pack.units {
+        for (_, fn_name) in &up.replaced_fns {
+            for live in ks.live_updates() {
+                for site in live.sites.iter().filter(|s| &s.fn_name == fn_name) {
+                    if site.unit != up.unit {
+                        return Err(PreflightError::Conflict {
+                            fn_name: fn_name.clone(),
+                            live_update: live.id.clone(),
+                            unit: site.unit.clone(),
+                        });
+                    }
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Info,
+                        "preflight.supersedes",
+                        vec![
+                            ("function", fn_name.as_str().into()),
+                            ("prior_update", live.id.as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    // 4. Relocation-target sanity: every symbol the primary's relocations
+    //    reference must have at least one possible resolution path —
+    //    defined in the primary itself, visible to the helper (so §4.2
+    //    binding recovery can supply it), a kallsyms global, or a kernel
+    //    native. Anything else is guaranteed to abort mid-apply; catch it
+    //    before any module loads.
+    for up in &pack.units {
+        for sec in &up.primary.sections {
+            for r in &sec.relocs {
+                let Some(sym) = up.primary.symbols.get(r.symbol) else {
+                    continue;
+                };
+                if sym.name.is_empty() || sym.def.is_some() {
+                    continue;
+                }
+                let reachable = up.helper.symbol_by_name(&sym.name).is_some()
+                    || kernel.syms.lookup_global(&sym.name).is_some()
+                    || native_addr(&sym.name).is_some();
+                if !reachable {
+                    return Err(PreflightError::UnknownRelocTarget {
+                        unit: up.unit.clone(),
+                        symbol: sym.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One health check run against the patched kernel during the watch
+/// window.
+pub enum HealthProbe {
+    /// Call a kernel function and require an exact return value — the
+    /// canary form. A syscall returning its pre-patch (vulnerable)
+    /// answer, or oopsing, fails the probe.
+    Canary {
+        /// Probe name for events and reports.
+        name: String,
+        /// Kernel function (kallsyms global) to call.
+        fn_name: String,
+        /// Arguments to pass.
+        args: Vec<u64>,
+        /// The required return value.
+        expected: u64,
+    },
+    /// An arbitrary check (e.g. the eval crate's exploit replays).
+    Custom {
+        /// Probe name for events and reports.
+        name: String,
+        /// The check; `Err(reason)` fails the probe.
+        check: ProbeCheck,
+    },
+}
+
+/// The check run by a [`HealthProbe::Custom`] probe; `Err(reason)` fails
+/// the probe.
+pub type ProbeCheck = Box<dyn FnMut(&mut Kernel) -> Result<(), String>>;
+
+impl HealthProbe {
+    /// The probe's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            HealthProbe::Canary { name, .. } => name,
+            HealthProbe::Custom { name, .. } => name,
+        }
+    }
+
+    /// A canary probe: `fn_name(args...)` must return `expected`.
+    pub fn canary(fn_name: &str, args: &[u64], expected: u64) -> HealthProbe {
+        HealthProbe::Canary {
+            name: format!("canary:{fn_name}"),
+            fn_name: fn_name.to_string(),
+            args: args.to_vec(),
+            expected,
+        }
+    }
+
+    /// Parses a CLI canary spec: `fn=expected` or `fn(arg,arg)=expected`
+    /// (decimal integers; `expected` may be negative, stored two's
+    /// complement).
+    pub fn parse(spec: &str) -> Result<HealthProbe, String> {
+        let (lhs, rhs) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad probe `{spec}` (expected `fn(args)=result`)"))?;
+        let expected = rhs
+            .trim()
+            .parse::<i64>()
+            .map_err(|_| format!("bad probe result `{rhs}` (expected an integer)"))?
+            as u64;
+        let lhs = lhs.trim();
+        let (fn_name, args) = match lhs.split_once('(') {
+            Some((name, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("bad probe `{spec}` (unclosed `(`)"))?;
+                let args = inner
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(|a| {
+                        a.parse::<i64>()
+                            .map(|v| v as u64)
+                            .map_err(|_| format!("bad probe argument `{a}`"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+                (name.trim(), args)
+            }
+            None => (lhs, Vec::new()),
+        };
+        if fn_name.is_empty() {
+            return Err(format!("bad probe `{spec}` (empty function name)"));
+        }
+        Ok(HealthProbe::canary(fn_name, &args, expected))
+    }
+}
+
+impl fmt::Debug for HealthProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthProbe::Canary {
+                name,
+                fn_name,
+                args,
+                expected,
+            } => f
+                .debug_struct("Canary")
+                .field("name", name)
+                .field("fn_name", fn_name)
+                .field("args", args)
+                .field("expected", expected)
+                .finish(),
+            HealthProbe::Custom { name, .. } => {
+                f.debug_struct("Custom").field("name", name).finish()
+            }
+        }
+    }
+}
+
+/// Shape of the quarantine watch window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchPolicy {
+    /// Probe rounds a fresh update must survive before commit.
+    pub rounds: u32,
+    /// Kernel steps the scheduler runs between probe rounds, so probes
+    /// observe a kernel that has actually executed patched code paths.
+    pub steps_per_round: u64,
+}
+
+impl Default for WatchPolicy {
+    fn default() -> WatchPolicy {
+        WatchPolicy {
+            rounds: 3,
+            steps_per_round: 2_000,
+        }
+    }
+}
+
+/// Lifecycle state of one update under management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateState {
+    /// Applied, inside the watch window; not yet trusted.
+    Quarantined,
+    /// Survived a clean watch window.
+    Committed,
+    /// Automatically reversed after a failed health probe.
+    RolledBack,
+    /// Reversed on operator request.
+    Reversed,
+}
+
+impl fmt::Display for UpdateState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UpdateState::Quarantined => "quarantined",
+            UpdateState::Committed => "committed",
+            UpdateState::RolledBack => "rolled-back",
+            UpdateState::Reversed => "reversed",
+        })
+    }
+}
+
+/// Errors from the managed apply path.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// The pre-flight gate rejected the pack; the kernel is untouched.
+    Preflight(PreflightError),
+    /// The underlying apply failed (and cleaned up after itself).
+    Apply(ApplyError),
+    /// A watch-window probe failed and the update was automatically
+    /// rolled back; the kernel text is back to its pre-apply image.
+    Quarantine {
+        /// The rolled-back update.
+        id: String,
+        /// The probe that failed.
+        probe: String,
+        /// The round (1-based) it failed in.
+        round: u32,
+        /// Why the probe failed.
+        reason: String,
+        /// The automatic rollback's report.
+        undo: Box<UndoReport>,
+    },
+    /// A probe failed *and* the automatic rollback could not complete;
+    /// the update is still live and still quarantined. The operator must
+    /// intervene.
+    RollbackFailed {
+        /// The stuck update.
+        id: String,
+        /// The probe that failed.
+        probe: String,
+        /// Why the probe failed.
+        reason: String,
+        /// Why the rollback failed.
+        undo: Box<UndoError>,
+    },
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Preflight(e) => write!(f, "preflight rejected: {e}"),
+            LifecycleError::Apply(e) => write!(f, "apply failed: {e}"),
+            LifecycleError::Quarantine {
+                id,
+                probe,
+                round,
+                reason,
+                ..
+            } => write!(
+                f,
+                "update {id} failed quarantine (probe {probe}, round {round}: {reason}); automatically rolled back"
+            ),
+            LifecycleError::RollbackFailed {
+                id,
+                probe,
+                reason,
+                undo,
+            } => write!(
+                f,
+                "update {id} failed quarantine (probe {probe}: {reason}) and rollback failed: {undo}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// One row of [`UpdateManager::status`].
+#[derive(Debug, Clone)]
+pub struct UpdateStatus {
+    /// Update id.
+    pub id: String,
+    /// Lifecycle state.
+    pub state: UpdateState,
+    /// Patch sites the update holds (held, if reversed).
+    pub sites: usize,
+}
+
+/// The lifecycle layer over [`Ksplice`]: owns the core state plus the
+/// per-update lifecycle states and the watch policy.
+#[derive(Debug, Default)]
+pub struct UpdateManager {
+    ks: Ksplice,
+    states: BTreeMap<String, UpdateState>,
+    watch: WatchPolicy,
+}
+
+impl UpdateManager {
+    /// A fresh manager with the default watch policy.
+    pub fn new() -> UpdateManager {
+        UpdateManager::default()
+    }
+
+    /// A fresh manager with the given watch policy.
+    pub fn with_watch(watch: WatchPolicy) -> UpdateManager {
+        UpdateManager {
+            watch,
+            ..UpdateManager::default()
+        }
+    }
+
+    /// The underlying core state.
+    pub fn ksplice(&self) -> &Ksplice {
+        &self.ks
+    }
+
+    /// Mutable access to the underlying core state, for callers mixing
+    /// managed and raw applies. Raw applies show up in [`status`] as
+    /// committed (live) or reversed.
+    ///
+    /// [`status`]: UpdateManager::status
+    pub fn ksplice_mut(&mut self) -> &mut Ksplice {
+        &mut self.ks
+    }
+
+    /// The active watch policy.
+    pub fn watch(&self) -> &WatchPolicy {
+        &self.watch
+    }
+
+    /// The lifecycle state of an update this manager applied.
+    pub fn state(&self, id: &str) -> Option<UpdateState> {
+        self.states.get(id).copied()
+    }
+
+    /// Lifecycle status of every update, oldest first.
+    pub fn status(&self) -> Vec<UpdateStatus> {
+        self.ks
+            .updates
+            .iter()
+            .map(|u| UpdateStatus {
+                id: u.id.clone(),
+                state: self.states.get(&u.id).copied().unwrap_or(if u.reversed {
+                    UpdateState::Reversed
+                } else {
+                    UpdateState::Committed
+                }),
+                sites: u.sites.len(),
+            })
+            .collect()
+    }
+
+    /// Human-readable status table (`ksplice status`).
+    pub fn render_status(&self) -> String {
+        let rows = self.status();
+        if rows.is_empty() {
+            return "no updates\n".to_string();
+        }
+        let idw = rows.iter().map(|r| r.id.len()).max().unwrap_or(2).max(2);
+        let mut out = format!("{:<idw$}  {:<11}  {:>5}\n", "ID", "STATE", "SITES");
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<idw$}  {:<11}  {:>5}\n",
+                r.id,
+                r.state.to_string(),
+                r.sites
+            ));
+        }
+        out
+    }
+
+    /// The full managed apply: pre-flight gate, apply, then the
+    /// quarantine watch window. On a probe failure the update is
+    /// automatically reversed (checksum-verified against the pre-apply
+    /// text image) and the call returns [`LifecycleError::Quarantine`].
+    pub fn apply_watched(
+        &mut self,
+        kernel: &mut Kernel,
+        pack: &UpdatePack,
+        probes: &mut [HealthProbe],
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<ApplyReport, LifecycleError> {
+        tracer.set_now(kernel.steps);
+        preflight(&self.ks, kernel, pack, tracer).map_err(LifecycleError::Preflight)?;
+        let text_before = kernel.mem.text_checksum();
+        let report = self
+            .ks
+            .apply_traced(kernel, pack, opts, tracer)
+            .map_err(LifecycleError::Apply)?;
+        self.states
+            .insert(pack.id.clone(), UpdateState::Quarantined);
+        tracer.emit(
+            Stage::Watch,
+            Severity::Info,
+            "watch.start",
+            vec![
+                ("id", pack.id.as_str().into()),
+                ("rounds", self.watch.rounds.into()),
+                ("steps_per_round", self.watch.steps_per_round.into()),
+                ("probes", probes.len().into()),
+            ],
+        );
+        let oopses_before = kernel.oopses.len();
+        for round in 1..=self.watch.rounds {
+            kernel.run(self.watch.steps_per_round);
+            tracer.set_now(kernel.steps);
+            for pi in 0..probes.len() + 1 {
+                // After the caller's probes, one implicit check: any new
+                // oops during the window fails the round.
+                let (probe_name, outcome) = if pi < probes.len() {
+                    let probe = &mut probes[pi];
+                    (probe.name().to_string(), run_probe(kernel, probe))
+                } else if kernel.oopses.len() > oopses_before {
+                    let oops = &kernel.oopses[oopses_before];
+                    (
+                        "oops-monitor".to_string(),
+                        Err(format!(
+                            "kernel oops on thread {} at {:#x}: {}",
+                            oops.tid, oops.ip, oops.reason
+                        )),
+                    )
+                } else {
+                    continue;
+                };
+                tracer.set_now(kernel.steps);
+                let Err(reason) = outcome else {
+                    tracer.emit(
+                        Stage::Watch,
+                        Severity::Debug,
+                        "watch.probe_ok",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("probe", probe_name.as_str().into()),
+                            ("round", round.into()),
+                        ],
+                    );
+                    continue;
+                };
+                tracer.count("watch.probe_failures", 1);
+                tracer.emit(
+                    Stage::Watch,
+                    Severity::Warn,
+                    "watch.probe_failed",
+                    vec![
+                        ("id", pack.id.as_str().into()),
+                        ("probe", probe_name.as_str().into()),
+                        ("round", round.into()),
+                        ("msg", reason.as_str().into()),
+                    ],
+                );
+                tracer.count("watch.auto_rollbacks", 1);
+                tracer.emit(
+                    Stage::Watch,
+                    Severity::Warn,
+                    "watch.auto_rollback",
+                    vec![
+                        ("id", pack.id.as_str().into()),
+                        ("probe", probe_name.as_str().into()),
+                        ("round", round.into()),
+                    ],
+                );
+                let undo = match self.ks.undo_traced(kernel, &pack.id, opts, tracer) {
+                    Ok(undo) => undo,
+                    Err(e) => {
+                        tracer.set_now(kernel.steps);
+                        return Err(LifecycleError::RollbackFailed {
+                            id: pack.id.clone(),
+                            probe: probe_name,
+                            reason,
+                            undo: Box::new(e),
+                        });
+                    }
+                };
+                tracer.set_now(kernel.steps);
+                verify_text_restored(kernel, tracer, Stage::Watch, text_before);
+                self.states
+                    .insert(pack.id.clone(), UpdateState::RolledBack);
+                return Err(LifecycleError::Quarantine {
+                    id: pack.id.clone(),
+                    probe: probe_name,
+                    round,
+                    reason,
+                    undo: Box::new(undo),
+                });
+            }
+            tracer.emit(
+                Stage::Watch,
+                Severity::Debug,
+                "watch.round_ok",
+                vec![("id", pack.id.as_str().into()), ("round", round.into())],
+            );
+        }
+        self.states.insert(pack.id.clone(), UpdateState::Committed);
+        tracer.count("watch.updates_committed", 1);
+        tracer.emit(
+            Stage::Watch,
+            Severity::Info,
+            "watch.committed",
+            vec![
+                ("id", pack.id.as_str().into()),
+                ("rounds", self.watch.rounds.into()),
+            ],
+        );
+        Ok(report)
+    }
+
+    /// Reverses any live update — newest or not — via
+    /// [`Ksplice::undo_any_traced`], recording the lifecycle state.
+    pub fn undo_any(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<UndoReport, UndoError> {
+        let report = self.ks.undo_any_traced(kernel, id, opts, tracer)?;
+        self.states.insert(id.to_string(), UpdateState::Reversed);
+        Ok(report)
+    }
+}
+
+/// Runs one probe. An armed [`ksplice_kernel::Fault::ProbeFail`] is
+/// consulted first, so fault injection can force a failure regardless of
+/// what the kernel would answer.
+fn run_probe(kernel: &mut Kernel, probe: &mut HealthProbe) -> Result<(), String> {
+    if kernel.faults.probe_fails(probe.name()) {
+        return Err("injected probe failure".to_string());
+    }
+    match probe {
+        HealthProbe::Canary {
+            fn_name,
+            args,
+            expected,
+            ..
+        } => match kernel.call_function(fn_name, args) {
+            Ok(v) if v == *expected => Ok(()),
+            Ok(v) => Err(format!(
+                "`{fn_name}` returned {v} ({}), expected {expected} ({})",
+                v as i64, *expected as i64
+            )),
+            Err(e) => Err(e.to_string()),
+        },
+        HealthProbe::Custom { check, .. } => check(kernel),
+    }
+}
+
+impl Ksplice {
+    /// Reverses any live update by id, not just the newest
+    /// ([`Ksplice::undo`]'s LIFO restriction).
+    pub fn undo_any(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+    ) -> Result<(), UndoError> {
+        self.undo_any_traced(kernel, id, opts, &mut Tracer::disabled())
+            .map(|_| ())
+    }
+
+    /// Reverses any live update by id. The newest live update takes the
+    /// ordinary LIFO path. An older one is reversed by *re-pointing*: for
+    /// each of its patch sites with a direct chain successor (a later
+    /// update whose site is this update's replacement code for the same
+    /// function, the §5.4 stacking shape), the trampoline at this
+    /// update's site is rewritten to jump straight to the successor's
+    /// replacement, and the successor's undo bookkeeping inherits this
+    /// site's address and saved bytes; sites without a successor restore
+    /// their saved bytes. A dependency check first refuses reversals
+    /// where a later live update holds other references into this
+    /// update's loaded code ([`UndoError::Entangled`]).
+    pub fn undo_any_traced(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<UndoReport, UndoError> {
+        // Fast path: the newest live update reverses the ordinary way.
+        if let Some(latest_live) = self.updates.iter().rposition(|u| !u.reversed) {
+            if self.updates[latest_live].id == id {
+                return self.undo_traced(kernel, id, opts, tracer);
+            }
+        }
+        tracer.set_now(kernel.steps);
+        tracer.emit(
+            Stage::Undo,
+            Severity::Info,
+            "undo.start",
+            vec![("id", id.into()), ("mode", "repoint".into())],
+        );
+        let result = self.undo_repoint_inner(kernel, id, opts, tracer);
+        tracer.set_now(kernel.steps);
+        match &result {
+            Ok(report) => {
+                tracer.emit(
+                    Stage::Undo,
+                    Severity::Info,
+                    "undo.committed",
+                    vec![
+                        ("id", id.into()),
+                        ("mode", "repoint".into()),
+                        ("attempts", report.attempts.into()),
+                    ],
+                );
+                tracer.count("undo.updates_reversed", 1);
+            }
+            Err(e) => {
+                let mut fields: Vec<(&str, ksplice_trace::Value)> =
+                    vec![("id", id.into()), ("msg", e.to_string().into())];
+                if let UndoError::Entangled {
+                    dependent,
+                    functions,
+                    ..
+                } = e
+                {
+                    fields.push(("dependent", dependent.as_str().into()));
+                    fields.push(("functions", functions.join(",").into()));
+                    tracer.count("undo.entangled_refusals", 1);
+                }
+                tracer.emit(Stage::Undo, Severity::Error, "undo.abort", fields);
+            }
+        }
+        result
+    }
+
+    fn undo_repoint_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        id: &str,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<UndoReport, UndoError> {
+        let text_before = kernel.mem.text_checksum();
+        let Some(idx) = self.updates.iter().position(|u| !u.reversed && u.id == id) else {
+            return Err(UndoError::NotUndoable {
+                id: id.to_string(),
+                reason: "no live update with this id".to_string(),
+            });
+        };
+        let update = self.updates[idx].clone();
+
+        // This update's loaded code: the memory regions of its primary
+        // modules.
+        let prefixes: Vec<String> = update
+            .primary_modules
+            .iter()
+            .map(|m| format!("{m}:"))
+            .collect();
+        let owned: Vec<(u64, u64)> = kernel
+            .mem
+            .regions()
+            .iter()
+            .filter(|r| prefixes.iter().any(|p| r.name.starts_with(p.as_str())))
+            .map(|r| (r.start, r.size))
+            .collect();
+        let within = |addr: u64| owned.iter().any(|(s, l)| addr >= *s && addr < s + l);
+
+        // Dependency check: a later live update may sit *on* this one's
+        // replacement code only as a direct chain successor (same
+        // function, site == our replacement). Any other reference into
+        // our modules — a patch site, a fulfilled relocation target, a
+        // hook — makes the reversal unsafe.
+        for later in self.updates[idx + 1..].iter().filter(|u| !u.reversed) {
+            let mut tied: Vec<String> = Vec::new();
+            for t in &later.sites {
+                let successor = update
+                    .sites
+                    .iter()
+                    .any(|s| t.site_addr == s.replacement_addr && t.fn_name == s.fn_name);
+                if !successor && within(t.site_addr) {
+                    tied.push(t.fn_name.clone());
+                }
+            }
+            for (symbol, addr) in &later.fulfilled_relocs {
+                if within(*addr) {
+                    tied.push(symbol.clone());
+                }
+            }
+            for kind in HookKind::ALL {
+                if later.hooks.of(kind).iter().any(|&h| within(h)) {
+                    tied.push(format!("{} hook", kind.macro_name()));
+                }
+            }
+            tied.sort();
+            tied.dedup();
+            if !tied.is_empty() {
+                return Err(UndoError::Entangled {
+                    id: id.to_string(),
+                    dependent: later.id.clone(),
+                    functions: tied,
+                });
+            }
+        }
+
+        // Per-site plan: re-point to the chain successor's replacement,
+        // or restore the saved bytes when the chain ends here.
+        struct Successor {
+            update: usize,
+            site: usize,
+            target: u64,
+        }
+        let mut plans: Vec<(usize, Option<Successor>)> = Vec::new();
+        for (si, s) in update.sites.iter().enumerate() {
+            let mut succ = None;
+            for (bi, later) in self.updates.iter().enumerate().skip(idx + 1) {
+                if later.reversed {
+                    continue;
+                }
+                if let Some(ti) = later
+                    .sites
+                    .iter()
+                    .position(|t| t.site_addr == s.replacement_addr && t.fn_name == s.fn_name)
+                {
+                    succ = Some(Successor {
+                        update: bi,
+                        site: ti,
+                        target: later.sites[ti].replacement_addr,
+                    });
+                    break;
+                }
+            }
+            plans.push((si, succ));
+        }
+
+        run_hooks(kernel, &update.hooks, HookKind::PreReverse).map_err(|e| match e {
+            ApplyError::Hook { kind, detail } => UndoError::Hook { kind, detail },
+            other => UndoError::Hook {
+                kind: "ksplice_pre_reverse",
+                detail: other.to_string(),
+            },
+        })?;
+
+        // Same quiescence condition as the LIFO path: no thread may be
+        // inside the replacement code being unloaded, nor inside the
+        // original functions whose entry bytes get rewritten.
+        let mut ranges: Vec<(u64, u64, String)> = update
+            .sites
+            .iter()
+            .map(|s| (s.replacement_addr, s.replacement_len, s.fn_name.clone()))
+            .collect();
+        ranges.extend(
+            update
+                .sites
+                .iter()
+                .map(|s| (s.site_addr, s.site_len, format!("{} (original)", s.fn_name))),
+        );
+        let mut attempt = 0;
+        let pause;
+        loop {
+            attempt += 1;
+            let result = kernel.stop_machine(|k| -> Result<(), StopError> {
+                if let Some((tid, fn_name)) = busy_function(k, &ranges) {
+                    return Err(StopError::Busy { tid, fn_name });
+                }
+                // Save the current site bytes so a reverse-hook failure
+                // can re-install them in-window.
+                let mut prev = Vec::with_capacity(update.sites.len());
+                for site in &update.sites {
+                    let mut buf = [0u8; TRAMPOLINE_LEN];
+                    buf.copy_from_slice(
+                        k.mem
+                            .peek(site.site_addr, TRAMPOLINE_LEN as u64)
+                            .expect("mapped"),
+                    );
+                    prev.push(buf);
+                }
+                for (si, succ) in &plans {
+                    let site = &update.sites[*si];
+                    match succ {
+                        Some(su) => write_trampoline(k, site.site_addr, su.target),
+                        None => k.mem.poke(site.site_addr, &site.saved).expect("mapped"),
+                    }
+                }
+                for &h in update.hooks.of(HookKind::Reverse) {
+                    if let Err(detail) = call_hook(k, h) {
+                        for (site, buf) in update.sites.iter().zip(&prev) {
+                            k.mem.poke(site.site_addr, buf).expect("mapped");
+                        }
+                        return Err(StopError::Hook(format!("reverse hook: {detail}")));
+                    }
+                }
+                Ok(())
+            });
+            tracer.set_now(kernel.steps);
+            tracer.count("undo.stop_machine_attempts", 1);
+            let pause_us = kernel
+                .last_stop_machine
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            tracer.observe("undo.pause_us", pause_us);
+            match result {
+                Ok(()) => {
+                    pause = kernel.last_stop_machine.unwrap_or_default();
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Info,
+                        "undo.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", true.into()),
+                            ("pause_us", pause_us.into()),
+                        ],
+                    );
+                    break;
+                }
+                Err(e) => {
+                    let (busy_tid, busy_fn, hook_detail) = match e {
+                        StopError::Busy { tid, fn_name } => (tid, fn_name, None),
+                        StopError::Hook(detail) => (0, String::new(), Some(detail)),
+                    };
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Warn,
+                        "undo.stop_machine",
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("ok", false.into()),
+                            ("pause_us", pause_us.into()),
+                            ("busy_tid", busy_tid.into()),
+                            (
+                                "busy_fn",
+                                hook_detail
+                                    .clone()
+                                    .unwrap_or_else(|| busy_fn.clone())
+                                    .into(),
+                            ),
+                        ],
+                    );
+                    if attempt < opts.retry.max_attempts && hook_detail.is_none() {
+                        let delay = opts.retry.delay_steps(attempt);
+                        tracer.emit(
+                            Stage::Undo,
+                            Severity::Debug,
+                            "undo.retry_delay",
+                            vec![("attempt", attempt.into()), ("steps", delay.into())],
+                        );
+                        kernel.run(delay);
+                        tracer.set_now(kernel.steps);
+                        continue;
+                    }
+                    cooldown(kernel, tracer, Stage::Undo, opts.retry.cooldown_steps);
+                    verify_text_restored(kernel, tracer, Stage::Undo, text_before);
+                    return Err(match hook_detail {
+                        Some(detail) => UndoError::Hook {
+                            kind: "ksplice_reverse",
+                            detail,
+                        },
+                        None => UndoError::NotQuiescent {
+                            fn_name: busy_fn,
+                            tid: busy_tid,
+                            attempts: attempt,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Commit the bookkeeping: each successor inherits the reversed
+        // site's address, length and saved original bytes, so a later
+        // undo of the successor restores the true original function.
+        let mut repointed = 0u64;
+        for (si, succ) in &plans {
+            let site = &update.sites[*si];
+            match succ {
+                Some(su) => {
+                    repointed += 1;
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Debug,
+                        "undo.repointed",
+                        vec![
+                            ("function", site.fn_name.as_str().into()),
+                            ("site_addr", site.site_addr.into()),
+                            ("target", su.target.into()),
+                            ("successor", self.updates[su.update].id.as_str().into()),
+                        ],
+                    );
+                    let t = &mut self.updates[su.update].sites[su.site];
+                    t.site_addr = site.site_addr;
+                    t.site_len = site.site_len;
+                    t.saved = site.saved;
+                }
+                None => {
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Debug,
+                        "undo.restored",
+                        vec![
+                            ("function", site.fn_name.as_str().into()),
+                            ("site_addr", site.site_addr.into()),
+                        ],
+                    );
+                }
+            }
+        }
+        if repointed > 0 {
+            tracer.count("undo.sites_repointed", repointed);
+        }
+        run_hooks(kernel, &update.hooks, HookKind::PostReverse).ok();
+        for name in &update.primary_modules {
+            kernel.rmmod(name);
+        }
+        self.updates[idx].reversed = true;
+        Ok(UndoReport {
+            id: id.to_string(),
+            attempts: attempt,
+            pause,
+            sites_restored: update.sites.len(),
+        })
+    }
+}

@@ -24,42 +24,55 @@ use crate::tree::base_tree;
 /// two-thirds) or information disclosure (about one-third)").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VulnClass {
+    /// An attacker gains root (or equivalent).
     PrivilegeEscalation,
+    /// An attacker reads data they should not.
     InformationDisclosure,
 }
 
 /// Why custom code is needed (Table 1's "reason for failure").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CustomReason {
+    /// The patch changes the initial value of existing data.
     ChangesDataInit,
+    /// The patch adds a field to a structure (needs shadow data).
     AddsFieldToStruct,
 }
 
 /// One textual edit against a base-tree file.
 #[derive(Debug, Clone)]
 pub struct Edit {
+    /// Base-tree file the edit applies to.
     pub path: &'static str,
+    /// Exact text to find.
     pub find: &'static str,
+    /// Replacement text.
     pub replace: &'static str,
 }
 
 /// Programmer-written custom code accompanying a patch (paper §5.3).
 #[derive(Debug, Clone)]
 pub struct CustomCode {
+    /// Why the plain patch was not shippable.
     pub reason: CustomReason,
     /// Logical (semicolon-terminated) lines of new code, per Table 1.
     pub lines: u32,
     /// Appended to this file (hook functions + ksplice_* registrations).
     pub path: &'static str,
+    /// The custom code itself.
     pub code: &'static str,
 }
 
 /// One corpus entry.
 #[derive(Debug, Clone)]
 pub struct Cve {
+    /// CVE identifier.
     pub id: &'static str,
+    /// Year of the advisory.
     pub year: u16,
+    /// Consequence class.
     pub class: VulnClass,
+    /// One-line description.
     pub summary: &'static str,
     /// The security fix itself (no custom code).
     pub edits: Vec<Edit>,

@@ -36,20 +36,29 @@ use crate::tree::base_tree;
 /// The result of running one CVE end to end.
 #[derive(Debug, Clone)]
 pub struct CveOutcome {
+    /// CVE identifier.
     pub id: &'static str,
     /// Changed lines in the plain security patch (Figure 3's metric).
     pub patch_loc: usize,
+    /// Whether the entry is one of Table 1's custom-code cases.
     pub needs_custom_code: bool,
+    /// Logical lines of custom code (0 when none).
     pub custom_lines: u32,
+    /// Why custom code was needed, when it was.
     pub custom_reason: Option<CustomReason>,
     /// Did the plain patch apply without programmer involvement?
     pub plain_applied: bool,
     /// Did the shippable patch (with custom code when needed) apply?
     pub applied: bool,
+    /// Functions the shippable update replaced.
     pub replaced_fns: usize,
+    /// The stress workload survived across the apply.
     pub stress_ok: bool,
+    /// Exploit verdict pre-apply (`None` when the entry has no exploit).
     pub exploit_before: Option<bool>,
+    /// Exploit verdict post-apply.
     pub exploit_after: Option<bool>,
+    /// The update reversed cleanly afterwards.
     pub undo_ok: bool,
     /// stop_machine pause for the apply (paper: ~0.7 ms).
     pub pause: Duration,
@@ -58,7 +67,9 @@ pub struct CveOutcome {
     /// stop_machine attempts for the reversal (0 when the undo failed),
     /// from the same [`ksplice_core::UndoReport`] as its pause.
     pub undo_attempts: u32,
+    /// Size of the helper (run-pre) module's object.
     pub helper_bytes: usize,
+    /// Size of the primary (replacement-code) module's object.
     pub primary_bytes: usize,
 }
 
@@ -105,7 +116,7 @@ fn baseline_stress_check(
 
 /// Builds the distro (run) kernel image through the cache, so 64 boots
 /// cost one compile of the tree.
-fn distro_image(base: &SourceTree, cache: &BuildCache) -> Result<ObjectSet, String> {
+pub(crate) fn distro_image(base: &SourceTree, cache: &BuildCache) -> Result<ObjectSet, String> {
     build_tree_cached(base, &Options::distro(), cache)
         .map(|(set, _)| set)
         .map_err(|e| format!("boot: {e}"))
@@ -200,8 +211,11 @@ fn run_cve_with(
 /// The full evaluation: every CVE plus the aggregate statistics.
 #[derive(Debug, Clone)]
 pub struct EvalReport {
+    /// Per-CVE outcomes, in corpus order.
     pub outcomes: Vec<CveOutcome>,
+    /// Kallsyms ambiguity measurements (§6.3).
     pub symbol_stats: SymbolStats,
+    /// Aggregate patch-size and custom-code statistics.
     pub corpus_stats: CorpusStats,
 }
 

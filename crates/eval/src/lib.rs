@@ -1,13 +1,19 @@
 //! Evaluation substrate for the Ksplice reproduction (paper §6).
 
+#![deny(missing_docs)]
+
 pub mod corpus;
 pub mod driver;
 pub mod exploits;
+pub mod lifecycle;
 pub mod stats;
 pub mod stress;
 pub mod tree;
 
 pub use corpus::{corpus, diff_trees, CustomCode, CustomReason, Cve, Edit, VulnClass};
+pub use lifecycle::{
+    lifecycle_corpus_sweep, non_lifo_reversal_sweep, LifecycleOutcome, DISJOINT_STACK,
+};
 pub use driver::{
     default_eval_jobs, run_cve, run_cve_cached, run_full_evaluation, run_full_evaluation_jobs,
     run_full_evaluation_opts, run_full_evaluation_traced, CveOutcome, EvalReport,

@@ -18,11 +18,17 @@ use crate::tree::base_tree;
 /// total; 21.1 % of compilation units contain at least one).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SymbolStats {
+    /// All kallsyms entries.
     pub total_symbols: usize,
+    /// Entries whose bare name is shared with another symbol.
     pub ambiguous_symbols: usize,
+    /// `ambiguous_symbols / total_symbols`.
     pub ambiguous_fraction: f64,
+    /// Compilation units in the image.
     pub total_units: usize,
+    /// Units containing at least one ambiguous symbol.
     pub units_with_ambiguous: usize,
+    /// `units_with_ambiguous / total_units`.
     pub unit_fraction: f64,
 }
 

@@ -16,7 +16,10 @@
 //! outcome table EXPERIMENTS.md records.
 
 use ksplice_core::trace::{RingSink, Tracer};
-use ksplice_core::{ApplyOptions, BuildCache, Ksplice, RetryPolicy, UpdatePack};
+use ksplice_core::{
+    ApplyOptions, BuildCache, HealthProbe, Ksplice, LifecycleError, RetryPolicy, UpdateManager,
+    UpdatePack, UpdateState, WatchPolicy,
+};
 use ksplice_eval::{base_tree, corpus, Cve};
 use ksplice_kernel::{Fault, Kernel};
 use ksplice_lang::{build_tree_cached, Options};
@@ -288,6 +291,62 @@ fn chaos_smoke_fixed_seed() {
             _ => assert_eq!(outcome, "success"),
         }
     }
+}
+
+/// Watch window under chaos: an injected probe failure during
+/// quarantine must trigger the automatic rollback, and the rollback
+/// must leave the kernel's text byte-identical to its pre-apply state
+/// and healthy enough that a clean re-apply then commits.
+#[test]
+fn chaos_probe_fault_rolls_back_checksum_clean() {
+    let fx = fixture();
+    let (id, pack) = &fx.packs[0];
+    let watch = WatchPolicy {
+        rounds: 3,
+        steps_per_round: 500,
+    };
+    // A probe that is genuinely healthy: the only failure can come from
+    // the armed fault, proving the rollback path, not the probe.
+    let healthy = || HealthProbe::Custom {
+        name: "always-healthy".to_string(),
+        check: Box::new(|_k: &mut Kernel| Ok(())),
+    };
+
+    let mut kernel = Kernel::boot_image(&fx.image).unwrap();
+    kernel.faults.reseed(99);
+    kernel.arm_fault(Fault::ProbeFail { count: 1 }).unwrap();
+    let text_before = kernel.mem.text_checksum();
+
+    let ring = RingSink::new(512);
+    let events = ring.handle();
+    let mut tracer = Tracer::new().with_sink(Box::new(ring));
+    let mut mgr = UpdateManager::with_watch(watch.clone());
+    let mut probes = vec![healthy()];
+    let err = mgr
+        .apply_watched(&mut kernel, pack, &mut probes, &ApplyOptions::default(), &mut tracer)
+        .expect_err("injected probe fault must fail quarantine");
+    assert!(matches!(err, LifecycleError::Quarantine { .. }), "{err}");
+    assert_eq!(mgr.state(id), Some(UpdateState::RolledBack));
+    assert_eq!(
+        kernel.mem.text_checksum(),
+        text_before,
+        "auto-rollback left text modified"
+    );
+    assert!(!events.named("watch.auto_rollback").is_empty());
+    assert!(kernel
+        .faults
+        .fired()
+        .iter()
+        .any(|f| f.site == "probe-fail" && f.detail == "always-healthy"));
+
+    // The fault burned itself out; the same pack now applies, survives
+    // its full watch window and commits on the very same kernel.
+    let mut probes = vec![healthy()];
+    mgr.apply_watched(&mut kernel, pack, &mut probes, &ApplyOptions::default(), &mut tracer)
+        .expect("clean re-apply after rollback");
+    assert_eq!(mgr.state(id), Some(UpdateState::Committed));
+    kernel.run(5_000);
+    assert!(kernel.oopses.is_empty(), "oops after rollback + re-apply");
 }
 
 /// Undo under chaos: a cleanly applied update, reversed while faults

@@ -31,6 +31,10 @@
 //!   seeded amount up to ±`max_steps`, so retry delays never land on
 //!   the exact schedule the caller asked for. Stresses the retry loop's
 //!   timing assumptions without changing its outcome invariants.
+//! * [`Fault::ProbeFail`] — the next *n* watch-window health probes
+//!   report failure regardless of what the probed kernel actually
+//!   returns, as if a canary regressed after apply. Forces the update
+//!   lifecycle manager's automatic-rollback path.
 
 use std::fmt;
 
@@ -61,6 +65,11 @@ pub enum Fault {
         /// Maximum absolute perturbation per `run` call.
         max_steps: u64,
     },
+    /// Fail the next `count` watch-window health probes.
+    ProbeFail {
+        /// How many consecutive probes report failure.
+        count: u32,
+    },
 }
 
 impl Fault {
@@ -70,6 +79,7 @@ impl Fault {
     /// * `module-load:N` — fail the next N module loads
     /// * `corrupt-text` / `corrupt-text:0xADDR` — flip a text byte
     /// * `step-jitter:N` — jitter run budgets by up to ±N steps
+    /// * `probe-fail:N` — fail the next N watch-window health probes
     pub fn parse(spec: &str) -> Result<Fault, String> {
         let (site, arg) = match spec.split_once(':') {
             Some((s, a)) => (s, Some(a)),
@@ -96,8 +106,11 @@ impl Fault {
             "step-jitter" => Ok(Fault::StepJitter {
                 max_steps: num("steps")?,
             }),
+            "probe-fail" => Ok(Fault::ProbeFail {
+                count: num("count")? as u32,
+            }),
             other => Err(format!(
-                "unknown fault site `{other}` (expected stack-busy, module-load, corrupt-text or step-jitter)"
+                "unknown fault site `{other}` (expected stack-busy, module-load, corrupt-text, step-jitter or probe-fail)"
             )),
         }
     }
@@ -111,6 +124,7 @@ impl fmt::Display for Fault {
             Fault::CorruptText { addr: Some(a) } => write!(f, "corrupt-text:{a:#x}"),
             Fault::CorruptText { addr: None } => write!(f, "corrupt-text"),
             Fault::StepJitter { max_steps } => write!(f, "step-jitter:{max_steps}"),
+            Fault::ProbeFail { count } => write!(f, "probe-fail:{count}"),
         }
     }
 }
@@ -136,6 +150,7 @@ pub struct FaultPlan {
     stack_busy_windows: u32,
     module_load_failures: u32,
     step_jitter_max: u64,
+    probe_failures: u32,
     fired: Vec<FiredFault>,
 }
 
@@ -153,6 +168,7 @@ impl FaultPlan {
             stack_busy_windows: 0,
             module_load_failures: 0,
             step_jitter_max: 0,
+            probe_failures: 0,
             fired: Vec::new(),
         }
     }
@@ -165,7 +181,10 @@ impl FaultPlan {
 
     /// True when nothing is armed.
     pub fn is_inert(&self) -> bool {
-        self.stack_busy_windows == 0 && self.module_load_failures == 0 && self.step_jitter_max == 0
+        self.stack_busy_windows == 0
+            && self.module_load_failures == 0
+            && self.step_jitter_max == 0
+            && self.probe_failures == 0
     }
 
     /// Clears everything armed; the fired log survives.
@@ -173,6 +192,7 @@ impl FaultPlan {
         self.stack_busy_windows = 0;
         self.module_load_failures = 0;
         self.step_jitter_max = 0;
+        self.probe_failures = 0;
     }
 
     /// Every fault that fired so far, in firing order.
@@ -201,6 +221,25 @@ impl FaultPlan {
 
     pub(crate) fn arm_step_jitter(&mut self, max_steps: u64) {
         self.step_jitter_max = self.step_jitter_max.max(max_steps);
+    }
+
+    pub(crate) fn arm_probe_fail(&mut self, count: u32) {
+        self.probe_failures += count;
+    }
+
+    /// Consulted by the update lifecycle manager before each health
+    /// probe. Returns true (and burns one armed failure) when the probe
+    /// named `probe` must report failure.
+    pub fn probe_fails(&mut self, probe: &str) -> bool {
+        if self.probe_failures == 0 {
+            return false;
+        }
+        self.probe_failures -= 1;
+        self.fired.push(FiredFault {
+            site: "probe-fail",
+            detail: probe.to_string(),
+        });
+        true
     }
 
     /// Consulted by the §5.2 stack safety check. Returns the synthetic
@@ -280,7 +319,13 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for spec in ["stack-busy:3", "module-load:1", "corrupt-text", "step-jitter:500"] {
+        for spec in [
+            "stack-busy:3",
+            "module-load:1",
+            "corrupt-text",
+            "step-jitter:500",
+            "probe-fail:2",
+        ] {
             let f = Fault::parse(spec).unwrap();
             assert_eq!(f.to_string(), spec);
         }
@@ -317,6 +362,20 @@ mod tests {
         assert!(plan.module_load_fails("m1"));
         assert!(!plan.module_load_fails("m2"));
         assert_eq!(plan.fired()[0].detail, "m1");
+    }
+
+    #[test]
+    fn probe_failures_burn_one_per_probe() {
+        let mut plan = FaultPlan::new(7);
+        plan.arm_probe_fail(2);
+        assert!(!plan.is_inert());
+        assert!(plan.probe_fails("canary:sys_getuid"));
+        assert!(plan.probe_fails("exploit"));
+        assert!(!plan.probe_fails("canary:sys_getuid"));
+        assert_eq!(plan.fired().len(), 2);
+        assert_eq!(plan.fired()[0].site, "probe-fail");
+        assert_eq!(plan.fired()[0].detail, "canary:sys_getuid");
+        assert!(plan.is_inert());
     }
 
     #[test]

@@ -15,8 +15,11 @@ use std::collections::BTreeMap;
 /// One symbol table entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KSym {
+    /// Symbol name (not necessarily unique).
     pub name: String,
+    /// Load address.
     pub addr: u64,
+    /// Size in bytes (0 when unknown).
     pub size: u64,
     /// Exported (global binding) vs file-local (static).
     pub global: bool,

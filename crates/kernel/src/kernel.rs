@@ -21,8 +21,11 @@ pub const QUANTUM: u64 = 64;
 /// A kernel oops: the fatal end of one thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Oops {
+    /// Thread that died.
     pub tid: u64,
+    /// Instruction pointer at the fault.
     pub ip: u64,
+    /// Human-readable cause.
     pub reason: String,
     /// Instruction pointer plus frame-pointer-chain return addresses.
     pub backtrace: Vec<u64>,
@@ -31,6 +34,7 @@ pub struct Oops {
 /// Run state of a thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ThreadState {
+    /// Eligible for the next scheduler slice.
     Runnable,
     /// Asleep until the given tick.
     Sleeping(u64),
@@ -43,12 +47,19 @@ pub enum ThreadState {
 /// One kernel thread.
 #[derive(Debug, Clone)]
 pub struct Thread {
+    /// Thread id, unique for the kernel's lifetime.
     pub tid: u64,
+    /// Entry-point name, for logs and backtraces.
     pub name: String,
+    /// General-purpose registers; r14 is fp, r15 is sp.
     pub regs: [u64; 16],
+    /// Instruction pointer.
     pub ip: u64,
+    /// Zero flag from the last compare.
     pub zf: bool,
+    /// Less-than flag from the last compare.
     pub lf: bool,
+    /// Run state.
     pub state: ThreadState,
     /// Stack region bounds (low, high); `sp` starts at `high`.
     pub stack: (u64, u64),
@@ -79,8 +90,11 @@ pub enum RunExit {
 
 /// The running kernel.
 pub struct Kernel {
+    /// The flat physical memory arena.
     pub mem: Memory,
+    /// The kernel symbol table.
     pub syms: Kallsyms,
+    /// All threads ever spawned (exited ones stay for inspection).
     pub threads: Vec<Thread>,
     next_tid: u64,
     /// The kernel log (`printk` output).
@@ -495,6 +509,10 @@ impl Kernel {
                 self.faults.arm_step_jitter(max_steps);
                 Ok(None)
             }
+            Fault::ProbeFail { count } => {
+                self.faults.arm_probe_fail(count);
+                Ok(None)
+            }
             Fault::CorruptText { addr } => {
                 let addr = match addr {
                     Some(a) => a,
@@ -556,8 +574,11 @@ impl Kernel {
 /// Errors from booting.
 #[derive(Debug)]
 pub enum BootError {
+    /// A source unit failed to compile.
     Compile(ksplice_lang::CompileError),
+    /// Linking the boot image failed.
     Link(LinkError),
+    /// The arena could not hold the image.
     NoMemory,
 }
 
@@ -576,7 +597,9 @@ impl std::error::Error for BootError {}
 /// Errors from spawning a thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpawnError {
+    /// No unique exported symbol with the given name.
     NoEntry(String),
+    /// No room for a thread stack.
     NoMemory,
 }
 
@@ -594,9 +617,13 @@ impl std::error::Error for SpawnError {}
 /// Errors from a synchronous call.
 #[derive(Debug)]
 pub enum CallError {
+    /// No unique exported symbol with the given name.
     NoEntry(String),
+    /// The call's thread could not be spawned.
     Spawn(SpawnError),
+    /// The call oopsed.
     Oops(Box<Oops>),
+    /// The call ran past its step budget.
     StepLimit,
 }
 

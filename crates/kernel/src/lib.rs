@@ -34,6 +34,8 @@
 //! assert_eq!(k.call_function("add", &[2, 40]).unwrap(), 42);
 //! ```
 
+#![deny(missing_docs)]
+
 mod fault;
 mod kallsyms;
 mod kernel;

@@ -30,9 +30,11 @@ pub struct PendingReloc {
     pub section: String,
     /// Absolute address of the to-be-patched field.
     pub addr: u64,
+    /// Relocation kind (absolute or ip-relative).
     pub kind: RelocKind,
     /// Symbol name awaiting resolution.
     pub symbol: String,
+    /// Constant added to the resolved address.
     pub addend: i64,
 }
 
@@ -40,6 +42,7 @@ pub struct PendingReloc {
 /// memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadedModule {
+    /// Module name (or compilation-unit name for boot-image units).
     pub name: String,
     /// Section name → (load address, size). Non-alloc sections absent.
     pub sections: BTreeMap<String, (u64, u64)>,
@@ -69,11 +72,22 @@ impl LoadedModule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinkError {
     /// An undefined symbol had no unique exported definition.
-    Unresolved { module: String, symbol: String },
+    Unresolved {
+        /// Module being linked.
+        module: String,
+        /// The symbol that failed to resolve.
+        symbol: String,
+    },
     /// Two units exported the same global symbol.
-    DuplicateGlobal { symbol: String },
+    DuplicateGlobal {
+        /// The doubly-defined symbol.
+        symbol: String,
+    },
     /// The arena is out of space.
-    OutOfMemory { section: String },
+    OutOfMemory {
+        /// Section that failed to fit.
+        section: String,
+    },
     /// A relocation overflowed or landed out of bounds.
     Reloc(String),
     /// A raw memory fault while copying section data.

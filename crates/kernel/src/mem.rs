@@ -19,8 +19,11 @@ pub const MEM_SIZE: u64 = 64 * 1024 * 1024;
 /// Memory access permissions of a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Perms {
+    /// Loads allowed.
     pub read: bool,
+    /// Stores allowed.
     pub write: bool,
+    /// Instruction fetch allowed.
     pub exec: bool,
 }
 
@@ -48,9 +51,13 @@ impl Perms {
 /// A named allocated region.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
+    /// Region name, `module:section` for loaded code.
     pub name: String,
+    /// First address.
     pub start: u64,
+    /// Length in bytes.
     pub size: u64,
+    /// Access permissions.
     pub perms: Perms,
 }
 
@@ -69,11 +76,22 @@ impl Region {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemFault {
     /// Access to an address outside any region.
-    Unmapped { addr: u64, len: u64 },
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+        /// Access length.
+        len: u64,
+    },
     /// Write to a region without write permission.
-    ReadOnly { addr: u64 },
+    ReadOnly {
+        /// Faulting address.
+        addr: u64,
+    },
     /// Instruction fetch from a non-executable region.
-    NotExecutable { addr: u64 },
+    NotExecutable {
+        /// Faulting address.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for MemFault {

@@ -20,6 +20,10 @@ pub enum Stage {
     RunPre,
     /// Applying an update under `stop_machine` (§5.2).
     Apply,
+    /// The post-apply quarantine watch window: health probes running
+    /// against the freshly patched kernel, and any automatic rollback
+    /// they trigger.
+    Watch,
     /// Reversing a live update.
     Undo,
     /// Update-stream packaging and delivery (§8).
@@ -32,11 +36,12 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in taxonomy order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Create,
         Stage::Differ,
         Stage::RunPre,
         Stage::Apply,
+        Stage::Watch,
         Stage::Undo,
         Stage::Stream,
         Stage::Cli,
@@ -50,6 +55,7 @@ impl Stage {
             Stage::Differ => "differ",
             Stage::RunPre => "runpre",
             Stage::Apply => "apply",
+            Stage::Watch => "watch",
             Stage::Undo => "undo",
             Stage::Stream => "stream",
             Stage::Cli => "cli",

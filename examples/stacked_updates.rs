@@ -1,18 +1,38 @@
-//! Stacked updates: patching a previously-patched kernel (paper §5.4).
+//! Stacked updates: patching a previously-patched kernel (paper §5.4),
+//! then reversing the stack in **any** order.
 //!
 //! Run with: `cargo run --example stacked_updates`
 //!
-//! Applies two successive hot updates — the second created against the
-//! previously-patched source — then reverses them in LIFO order. The
-//! second update's run-pre matching matches against the first update's
-//! replacement code in the primary module, exactly as §5.4 describes.
+//! Part 1 stacks two successive hot updates — each created against the
+//! previously-patched source, so the second update's run-pre matching
+//! matches against the first update's replacement code — and then
+//! reverses them in NON-LIFO order: the older update is undone first,
+//! while the newer one stays live. The undo re-points the older
+//! update's trampoline chain instead of unwinding it.
+//!
+//! Part 2 shows the safety limit: when a later update still *references
+//! code the earlier update introduced* (a new function living only in
+//! the earlier update's module), reversing the earlier update out of
+//! order would leave dangling call targets. The dependency check
+//! refuses with [`UndoError::Entangled`], naming the tying function,
+//! and the stack must be unwound LIFO instead.
+//!
+//! [`UndoError::Entangled`]: ksplice::core::UndoError::Entangled
 
-use ksplice::core::{create_update, ApplyOptions, CreateOptions, Ksplice};
+use ksplice::core::{create_update, ApplyOptions, CreateOptions, Ksplice, Tracer, UndoError};
 use ksplice::kernel::Kernel;
 use ksplice::lang::{Options, SourceTree};
 use ksplice::patch::make_diff;
 
 fn main() {
+    part1_non_lifo();
+    part2_entangled();
+    println!("Done!");
+}
+
+/// Two stacked updates to one function, reversed oldest-first.
+fn part1_non_lifo() {
+    println!("--- part 1: non-LIFO undo re-points the trampoline chain ---");
     let v0 =
         "int policy(int n) {\n    if (n < 0) {\n        return 0 - 22;\n    }\n    return 1;\n}\n";
     let v1 = v0.replace("return 1;", "return 2;");
@@ -23,7 +43,7 @@ fn main() {
     let mut kernel = Kernel::boot(&tree, &Options::distro()).expect("boot");
     let mut ks = Ksplice::new();
     println!(
-        "booted:        policy(0) = {}",
+        "booted:          policy(0) = {}",
         kernel.call_function("policy", &[0]).unwrap()
     );
 
@@ -33,10 +53,6 @@ fn main() {
         create_update("update-1", &tree, &p1, &CreateOptions::default()).unwrap();
     ks.apply(&mut kernel, &pack1, &ApplyOptions::default())
         .unwrap();
-    println!(
-        "after update1: policy(0) = {}",
-        kernel.call_function("policy", &[0]).unwrap()
-    );
 
     // Update 2: created against the PREVIOUSLY-PATCHED source (§5.4).
     // Its run-pre matching targets update 1's replacement code.
@@ -46,28 +62,90 @@ fn main() {
     ks.apply(&mut kernel, &pack2, &ApplyOptions::default())
         .unwrap();
     println!(
-        "after update2: policy(0) = {}",
+        "both updates:    policy(0) = {}",
         kernel.call_function("policy", &[0]).unwrap()
     );
 
-    // Undo is strictly LIFO: update 1 is pinned while update 2 is live.
-    let denied = ks.undo(&mut kernel, "update-1", &ApplyOptions::default());
+    // NON-LIFO: reverse update 1 *first*, while update 2 is still live.
+    // Its patch site is re-pointed to jump straight to update 2's
+    // replacement; update 2 inherits the original site's saved bytes.
+    let report = ks
+        .undo_any_traced(
+            &mut kernel,
+            "update-1",
+            &ApplyOptions::default(),
+            &mut Tracer::disabled(),
+        )
+        .expect("mid-stack undo");
+    print!("{}", report.render());
     println!(
-        "undo update-1 while update-2 live: {}",
-        denied.err().map(|e| e.to_string()).unwrap_or_default()
+        "undo 1 (2 live): policy(0) = {}",
+        kernel.call_function("policy", &[0]).unwrap()
     );
 
-    ks.undo(&mut kernel, "update-2", &ApplyOptions::default())
-        .unwrap();
+    // Now update 2 is the whole stack; undoing it restores the boot code.
+    ks.undo_any(&mut kernel, "update-2", &ApplyOptions::default())
+        .expect("final undo");
     println!(
-        "after undo 2:  policy(0) = {}",
+        "undo 2:          policy(0) = {}",
         kernel.call_function("policy", &[0]).unwrap()
     );
-    ks.undo(&mut kernel, "update-1", &ApplyOptions::default())
+}
+
+/// A later update calling a function the earlier one introduced cannot
+/// outlive it: the reversal is refused as entangled.
+fn part2_entangled() {
+    println!("--- part 2: entangled reversals are refused by the dependency check ---");
+    // `audit` is deliberately loop-heavy so the optimiser cannot inline
+    // it — the call from `policy` must survive as a real cross-module
+    // reference for the updates to be genuinely entangled.
+    let audit = "int audit(int x) {\n    int i;\n    int s;\n    s = x;\n    \
+for (i = 0; i < 3; i = i + 1) {\n        s = s + i;\n    }\n    return s;\n}\n";
+    let v0 = "int policy(int x) {\n    return x + 1;\n}\n";
+    let v1 = format!("{audit}int policy(int x) {{\n    return audit(x) + 1;\n}}\n");
+    let v2 = format!("{audit}int policy(int x) {{\n    return audit(x) + 2;\n}}\n");
+
+    let mut tree = SourceTree::new();
+    tree.insert("policy.kc", v0);
+    let mut kernel = Kernel::boot(&tree, &Options::distro()).expect("boot");
+    let mut ks = Ksplice::new();
+
+    // Update A introduces `audit` and makes `policy` call it; update B
+    // (created against the patched source) changes `policy` again but
+    // still calls `audit` — which exists ONLY in update A's module.
+    let pa = make_diff("policy.kc", v0, &v1).unwrap();
+    let (pack_a, patched_src) =
+        create_update("update-a", &tree, &pa, &CreateOptions::default()).unwrap();
+    ks.apply(&mut kernel, &pack_a, &ApplyOptions::default())
+        .unwrap();
+    let pb = make_diff("policy.kc", &v1, &v2).unwrap();
+    let (pack_b, _) =
+        create_update("update-b", &patched_src, &pb, &CreateOptions::default()).unwrap();
+    ks.apply(&mut kernel, &pack_b, &ApplyOptions::default())
         .unwrap();
     println!(
-        "after undo 1:  policy(0) = {}",
-        kernel.call_function("policy", &[0]).unwrap()
+        "both updates:    policy(3) = {}",
+        kernel.call_function("policy", &[3]).unwrap()
     );
-    println!("Done!");
+
+    // Reversing A while B is live would leave B's call to `audit`
+    // dangling; the dependency check names the tying function.
+    match ks.undo_any(&mut kernel, "update-a", &ApplyOptions::default()) {
+        Err(UndoError::Entangled {
+            id,
+            dependent,
+            functions,
+        }) => println!("refused:         {id} is pinned by {dependent} via {functions:?}"),
+        other => panic!("expected Entangled, got {other:?}"),
+    }
+
+    // The legal order is LIFO: B first, then A.
+    ks.undo_any(&mut kernel, "update-b", &ApplyOptions::default())
+        .expect("undo b");
+    ks.undo_any(&mut kernel, "update-a", &ApplyOptions::default())
+        .expect("undo a");
+    println!(
+        "both reversed:   policy(3) = {}",
+        kernel.call_function("policy", &[3]).unwrap()
+    );
 }
