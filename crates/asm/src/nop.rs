@@ -96,5 +96,73 @@ mod tests {
     fn out_of_bounds_is_none() {
         assert_eq!(nop_len_at(&[0x90], 5), None);
         assert_eq!(nop_run_len(&[], 0), 0);
+        // `at` exactly at the end of the buffer: an empty rest, not a nop.
+        assert_eq!(nop_len_at(&[0x90], 1), None);
+        assert_eq!(nop_run_len(&[0x90], 1), 0);
+    }
+
+    #[test]
+    fn truncated_nopn_at_buffer_end_is_not_a_nop() {
+        // A nopN header that claims more bytes than the unit has left
+        // must not be skipped: run-pre matching would walk off the
+        // section. Header only, then header + partial padding.
+        assert_eq!(nop_len_at(&[0x0e], 0), None);
+        assert_eq!(nop_len_at(&[0x0e, 9, 0x00, 0x00], 0), None);
+        // The same bytes with the claimed length present are fine.
+        let mut full = vec![0x0e, 9];
+        full.resize(9, 0x00);
+        assert_eq!(nop_len_at(&full, 0), Some(9));
+    }
+
+    #[test]
+    fn nopn_must_fit_exactly_at_unit_boundary() {
+        // A multi-byte nop whose last padding byte is the last byte of
+        // the unit is recognised; one byte short is not.
+        let mut code = vec![0x01, 0x02]; // arbitrary non-nop prefix
+        code.extend_from_slice(&[0x0e, 4, 0x00, 0x00]);
+        assert_eq!(nop_len_at(&code, 2), Some(4));
+        code.pop();
+        assert_eq!(nop_len_at(&code, 2), None);
+        assert_eq!(nop_run_len(&code, 2), 0);
+    }
+
+    #[test]
+    fn degenerate_nopn_lengths_are_rejected() {
+        // nopN of length 0 or 1 cannot encode (the header alone is two
+        // bytes); a decoder seeing one must treat it as ordinary code.
+        assert_eq!(nop_len_at(&[0x0e, 0], 0), None);
+        assert_eq!(nop_len_at(&[0x0e, 1, 0x00], 0), None);
+        // Above MAX_NOP_LEN is equally invalid.
+        let mut huge = vec![0x0e, 10];
+        huge.resize(10, 0x00);
+        assert_eq!(nop_len_at(&huge, 0), None);
+    }
+
+    #[test]
+    fn mixed_runs_accumulate_across_nop_forms() {
+        // nop9 + nop1 + nop3 back to back: the run covers all of them
+        // and stops at the first real instruction.
+        let mut code = Vec::new();
+        nop_fill(&mut code, 9);
+        code.push(0x90);
+        nop_fill(&mut code, 3);
+        code.push(0x01); // hlt / non-nop opcode terminates the run
+        assert_eq!(nop_run_len(&code, 0), 13);
+        // A run started mid-sequence only counts the remaining nops.
+        assert_eq!(nop_run_len(&code, 9), 4);
+    }
+
+    #[test]
+    fn nop_only_tail_runs_to_end_of_unit() {
+        // Alignment padding at the end of a compilation unit has no
+        // terminating instruction; the run must stop cleanly at the
+        // boundary instead of erroring.
+        let mut code = vec![0x01];
+        nop_fill(&mut code, 12);
+        assert_eq!(nop_run_len(&code, 1), 12);
+        assert_eq!(nop_run_len(&code, code.len()), 0);
+        // Truncated trailing nop: the run stops before it.
+        code.extend_from_slice(&[0x0e, 5, 0x00]);
+        assert_eq!(nop_run_len(&code, 1), 12);
     }
 }

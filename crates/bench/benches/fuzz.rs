@@ -1,0 +1,76 @@
+//! Fuzz-campaign throughput — how fast the differential oracle chews
+//! through mutants.
+//!
+//! Headline numbers, written to BENCH_fuzz.json:
+//!
+//! * `fuzz_serial_ms` / `fuzz_parallel_ms` — wall-clock of a fixed-seed
+//!   200-mutant campaign with jobs=1 and jobs=available_parallelism.
+//! * `fuzz_mutants_per_sec` — parallel throughput (each mutant is a full
+//!   create → dual cold boot → hot apply → workload → diff round trip).
+//!
+//! Criterion then times a tiny sequential campaign for a stable
+//! per-mutant latency figure.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_core::Tracer;
+use ksplice_eval::{default_eval_jobs, run_campaign, FuzzConfig, Workload};
+
+const MUTANTS: usize = 200;
+
+fn campaign_wall_ms(jobs: usize, tracer: &mut Tracer) -> u128 {
+    let cfg = FuzzConfig {
+        seed: 1,
+        mutants: MUTANTS,
+        jobs,
+        workload: Workload::Syscalls,
+        ..FuzzConfig::default()
+    };
+    let t = Instant::now();
+    let report = run_campaign(&cfg, tracer).expect("campaign failed");
+    assert!(report.clean(), "bench campaign found oracle failures");
+    t.elapsed().as_millis()
+}
+
+fn bench(c: &mut Criterion) {
+    let jobs = default_eval_jobs();
+    let mut tracer = Tracer::new();
+    let fuzz_serial_ms = campaign_wall_ms(1, &mut Tracer::disabled());
+    let fuzz_parallel_ms = campaign_wall_ms(jobs, &mut tracer);
+    let per_sec = MUTANTS as u128 * 1_000 / fuzz_parallel_ms.max(1);
+    tracer.count("bench.fuzz_serial_ms", fuzz_serial_ms as u64);
+    tracer.count("bench.fuzz_parallel_ms", fuzz_parallel_ms as u64);
+    tracer.count("bench.fuzz_jobs", jobs as u64);
+    tracer.count("bench.fuzz_mutants", MUTANTS as u64);
+    tracer.count("bench.fuzz_mutants_per_sec", per_sec as u64);
+    println!(
+        "\n== fuzz campaign ({MUTANTS} mutants): {fuzz_serial_ms} ms serial, \
+         {fuzz_parallel_ms} ms with {jobs} job(s) — {per_sec} mutants/s ==\n"
+    );
+    std::fs::write("BENCH_fuzz.json", tracer.metrics_json()).expect("write BENCH_fuzz.json");
+
+    // Per-mutant latency: a small fixed-seed sequential campaign, so the
+    // figure tracks the full oracle round trip rather than thread-pool
+    // scheduling.
+    let mut group = c.benchmark_group("fuzz");
+    group.bench_function("campaign_10_mutants_serial", |b| {
+        b.iter(|| {
+            let cfg = FuzzConfig {
+                seed: 1,
+                mutants: 10,
+                jobs: 1,
+                ..FuzzConfig::default()
+            };
+            run_campaign(&cfg, &mut Tracer::disabled()).expect("campaign failed")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

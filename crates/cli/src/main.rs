@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("demo") => cmd_demo(&args[1..], &mut tracer),
         Some("eval") => cmd_eval(&args[1..], &mut tracer),
+        Some("fuzz") => cmd_fuzz(&args[1..], &mut tracer),
         Some("status") => cmd_status(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
@@ -83,7 +84,9 @@ fn main() -> ExitCode {
                  \n  demo    [--cve <id>] [--retry-policy <spec>] [--fault <site>]... [--fault-seed <n>]\
                  \n          [--watch-rounds <n>] [--probe <fn(args)=expected>]... [--undo]\
                  \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>]\
-                 \n  status  [--cve <id>]... [--undo <id>] [--watch-rounds <n>]\
+                 \n  fuzz    [--seed <n>] [--mutants <n>] [--workload syscalls|stress|both]\
+                 \n          [--jobs <n>] [--emit <dir>] [--replay <dir>]\
+                 \n  status  [--cve <id>]... [--undo <id>] [--watch-rounds <n>] [--probe <spec>]...\
                  \n  list\
                  \n  report  <trace.jsonl>\
                  \n\
@@ -424,6 +427,7 @@ fn cmd_status(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --watch-rounds value".to_string()))
         .transpose()?;
     let undo_id = flag_value(args, "--undo");
+    let probe_specs = flag_values(args, "--probe");
 
     let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
     tracer.set_now(kernel.steps);
@@ -447,7 +451,10 @@ fn cmd_status(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
         };
         let (pack, _) = create_update_traced(case.id, &base_tree(), &patch, &opts, tracer)
             .map_err(|e| e.to_string())?;
-        let mut probes: Vec<HealthProbe> = Vec::new();
+        let mut probes: Vec<HealthProbe> = probe_specs
+            .iter()
+            .map(|s| HealthProbe::parse(s))
+            .collect::<Result<_, _>>()?;
         if case.exploit.is_some() {
             let c = case.clone();
             probes.push(HealthProbe::Custom {
@@ -490,6 +497,78 @@ fn cmd_eval(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     tracer.count("eval.cases", report.outcomes.len() as u64);
     println!("{}", report.render());
     Ok(())
+}
+
+/// `ksplice fuzz`: a randomized patch campaign against the differential
+/// oracle, or (`--replay <dir>`) a deterministic re-run of checked-in
+/// regression cases.
+fn cmd_fuzz(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
+    let mut cfg = ksplice_eval::FuzzConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--mutants") {
+        cfg.mutants = s.parse().map_err(|_| "bad --mutants value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--jobs") {
+        cfg.jobs = s.parse().map_err(|_| "bad --jobs value".to_string())?;
+        if cfg.jobs == 0 {
+            return Err("bad --jobs value".to_string());
+        }
+    }
+    if let Some(s) = flag_value(args, "--max-mutations") {
+        cfg.max_mutations = s
+            .parse()
+            .map_err(|_| "bad --max-mutations value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--workload") {
+        cfg.workload = ksplice_eval::Workload::parse(s)
+            .ok_or("bad --workload: expected syscalls|stress|both")?;
+    }
+
+    if let Some(dir) = flag_value(args, "--replay") {
+        let cases = ksplice_eval::load_regression_dir(Path::new(dir))?;
+        let cx = ksplice_eval::FuzzContext::new(&cfg)?;
+        let mut failed = 0usize;
+        for case in &cases {
+            // A regression case's expected outcome is usually a kill, so
+            // the pipeline's abort events are not worth reporting here.
+            match cx.replay(case, &mut Tracer::disabled()) {
+                Ok(()) => println!("replay {:<32} ok ({})", case.name, case.expect),
+                Err(e) => {
+                    failed += 1;
+                    println!("replay {:<32} FAILED: {e}", case.name);
+                }
+            }
+        }
+        println!("{} case(s), {} failed", cases.len(), failed);
+        return if failed == 0 {
+            Ok(())
+        } else {
+            Err(format!("{failed} regression case(s) failed"))
+        };
+    }
+
+    let report = ksplice_eval::run_campaign(&cfg, tracer)?;
+    println!("{}", report.render());
+    if let Some(dir) = flag_value(args, "--emit") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for case in &report.exemplars {
+            let path = dir.join(format!("{}.fuzz", case.name));
+            std::fs::write(&path, case.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("emitted {}", path.display());
+        }
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} oracle failure(s), {} panic(s)",
+            report.failures.len(),
+            report.panics
+        ))
+    }
 }
 
 fn cmd_list() -> Result<(), String> {

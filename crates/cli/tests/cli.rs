@@ -89,6 +89,57 @@ fn status_stacks_updates_and_reverses_mid_stack() {
 }
 
 #[test]
+fn status_table_tracks_quarantine_to_committed() {
+    // Each update passes through quarantined (watch window) before the
+    // table reports it committed; the watch trace shows the transition.
+    let out = ksplice()
+        .args(["status", "--watch-rounds", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["CVE-2006-2451", "CVE-2005-0750", "CVE-2005-4605"] {
+        assert!(text.contains("watch.start"), "missing watch window");
+        assert!(
+            text.contains(&format!("{id}  committed")),
+            "{id} not committed in:\n{text}"
+        );
+    }
+    assert_eq!(text.matches("watch.committed").count(), 3);
+    // Nothing was reversed or left in quarantine.
+    assert!(!text.contains("  quarantined"));
+    assert!(!text.contains("rolled-back"));
+}
+
+#[test]
+fn status_table_tracks_rolled_back_updates() {
+    // A probe demanding uid 1000 from a fresh thread (uid 0) fails every
+    // round, so the first update is auto-reversed out of quarantine and
+    // the state table records it as rolled-back.
+    let out = ksplice()
+        .args([
+            "status",
+            "--quiet",
+            "--probe",
+            "sys_getuid()=1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("CVE-2006-2451  rolled-back"),
+        "table missing rolled-back row:\n{text}"
+    );
+    assert!(!text.contains("committed"), "apply loop continued past the rollback");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed quarantine"));
+}
+
+#[test]
 fn create_and_inspect_roundtrip() {
     let dir = std::env::temp_dir().join(format!("ksplice-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

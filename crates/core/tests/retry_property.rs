@@ -86,6 +86,57 @@ fn random_policy(rng: &mut Rng) -> RetryPolicy {
 }
 
 #[test]
+fn jitter_is_deterministic_per_seed_and_bounded_by_the_cap() {
+    let mut rng = Rng::new(0xf422);
+    for round in 0..500u64 {
+        let attempts = 1 + rng.below(16) as u32;
+        let delay = 1 + rng.below(50_000);
+        let cap = 1 + rng.below(200_000);
+        let pct = rng.below(101) as u32;
+        let seed = rng.next();
+        let base_policy = if rng.below(2) == 0 {
+            RetryPolicy::fixed(attempts, delay)
+        } else {
+            RetryPolicy::exponential(attempts, delay, cap)
+        };
+        let policy = base_policy.clone().with_jitter(pct, seed);
+        let replay = base_policy.clone().with_jitter(pct, seed);
+
+        for attempt in 1..=attempts {
+            let base = base_policy.delay_steps(attempt);
+            let d = policy.delay_steps(attempt);
+
+            // Deterministic: the same (policy, attempt) always yields the
+            // same delay — recomputed on the same value and on an
+            // independently constructed identical policy.
+            assert_eq!(d, policy.delay_steps(attempt), "round {round}");
+            assert_eq!(d, replay.delay_steps(attempt), "round {round}");
+
+            // Bounded: jitter moves the delay by at most pct% of the
+            // (already capped) base, never below one step.
+            let span = base / 100 * pct as u64 + base % 100 * pct as u64 / 100;
+            assert!(
+                d >= base.saturating_sub(span).max(1.min(base)) && d <= base + span,
+                "round {round} attempt {attempt}: base {base} span {span} got {d}"
+            );
+            assert!(
+                d <= policy.max_delay_steps + span,
+                "round {round} attempt {attempt}: jitter escaped the cap"
+            );
+        }
+
+        // A different seed must eventually produce a different schedule
+        // (when jitter is actually in play).
+        if pct >= 10 && delay >= 1_000 && attempts >= 4 {
+            let other = base_policy.clone().with_jitter(pct, seed ^ 0xdead_beef);
+            let a: Vec<u64> = (1..=attempts).map(|n| policy.delay_steps(n)).collect();
+            let b: Vec<u64> = (1..=attempts).map(|n| other.delay_steps(n)).collect();
+            assert_ne!(a, b, "round {round}: distinct seeds gave identical jitter");
+        }
+    }
+}
+
+#[test]
 fn abandon_after_retries_restores_the_exact_memory_image() {
     let (tree, image) = fixture();
     let pack = make_pack(&tree);

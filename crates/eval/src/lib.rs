@@ -5,6 +5,7 @@
 pub mod corpus;
 pub mod driver;
 pub mod exploits;
+pub mod fuzz;
 pub mod lifecycle;
 pub mod stats;
 pub mod stress;
@@ -19,6 +20,10 @@ pub use driver::{
     run_full_evaluation_opts, run_full_evaluation_traced, CveOutcome, EvalReport,
 };
 pub use exploits::run_exploit;
+pub use fuzz::{
+    canonical_base_tree, load_regression_dir, run_campaign, CampaignReport, FuzzConfig,
+    FuzzContext, MutantRecord, MutatorStats, Outcome, RegressionCase, Workload,
+};
 pub use stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};
 pub use stress::{load_stress, run_stress, spawn_stress, STRESS_SRC};
 pub use tree::{base_tree, BASE_FILES};

@@ -1,0 +1,35 @@
+//! Replays every checked-in fuzz regression case. Each `.fuzz` file under
+//! `crates/eval/fuzz-regressions/` is a shrunk mutant from a past campaign
+//! pinned to the outcome class the oracle assigned it; a class change here
+//! means a pipeline gate or the differential oracle itself regressed.
+
+use std::path::Path;
+
+use ksplice_core::Tracer;
+use ksplice_eval::{load_regression_dir, FuzzConfig, FuzzContext, Workload};
+
+#[test]
+fn checked_in_regression_cases_replay() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fuzz-regressions");
+    let cases = load_regression_dir(&dir).expect("regression dir loads");
+    assert!(
+        cases.len() >= 3,
+        "expected at least 3 checked-in regression cases, found {}",
+        cases.len()
+    );
+
+    // The corpus was emitted from a syscalls-workload campaign; replay
+    // under the same oracle configuration.
+    let cfg = FuzzConfig {
+        workload: Workload::Syscalls,
+        ..FuzzConfig::default()
+    };
+    let cx = FuzzContext::new(&cfg).expect("fuzz context builds");
+    let mut failures = Vec::new();
+    for case in &cases {
+        if let Err(e) = cx.replay(case, &mut Tracer::disabled()) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "regression replays failed:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,27 @@
+//! Fixed-seed differential-fuzz smoke: a small campaign must complete
+//! with zero oracle divergences and zero host panics, and must exercise
+//! at least one pipeline kill gate. CI runs a bigger sweep of the same
+//! entry point (see .github/workflows).
+
+use ksplice_core::Tracer;
+use ksplice_eval::{run_campaign, FuzzConfig};
+
+#[test]
+fn fixed_seed_campaign_is_clean() {
+    let cfg = FuzzConfig {
+        seed: 1,
+        mutants: 40,
+        jobs: 4,
+        ..FuzzConfig::default()
+    };
+    let mut tracer = Tracer::new();
+    let report = run_campaign(&cfg, &mut tracer).expect("campaign runs");
+    assert!(report.clean(), "{}", report.render());
+    assert_eq!(report.panics, 0);
+    // Determinism: the same seed gives the same class histogram.
+    let again = run_campaign(&cfg, &mut Tracer::disabled()).expect("campaign reruns");
+    assert_eq!(report.by_class, again.by_class, "campaign not deterministic");
+    // The campaign should both apply updates and hit create-side gates.
+    let total: usize = report.by_class.values().sum();
+    assert_eq!(total, cfg.mutants);
+}

@@ -1,0 +1,33 @@
+//! Every `.kc` unit in the base tree must round-trip through the
+//! canonical pretty-printer: `pretty(parse(src))` is a fixpoint, and the
+//! canonicalized tree still compiles to a bootable kernel. The fuzzer
+//! mutates canonical trees, so this is its ground truth.
+
+use ksplice_eval::base_tree;
+use ksplice_lang::{parse_unit, pretty_unit, Options, SourceTree};
+
+#[test]
+fn base_tree_pretty_is_fixpoint_and_compiles() {
+    let base = base_tree();
+    let mut canon = SourceTree::new();
+    for (path, src) in base.iter() {
+        if !path.ends_with(".kc") {
+            canon.insert(path, src);
+            continue;
+        }
+        let unit = parse_unit(path, src).unwrap_or_else(|e| panic!("{path}: parse: {e}"));
+        let printed = pretty_unit(&unit);
+        let reparsed =
+            parse_unit(path, &printed).unwrap_or_else(|e| panic!("{path}: reparse: {e}\n{printed}"));
+        assert_eq!(
+            pretty_unit(&reparsed),
+            printed,
+            "{path}: pretty not a fixpoint"
+        );
+        canon.insert(path, &printed);
+    }
+    let set = ksplice_lang::build_tree(&canon, &Options::distro())
+        .unwrap_or_else(|e| panic!("canonical tree build: {e}"));
+    let mut kernel = ksplice_kernel::Kernel::boot_image(&set).expect("canonical tree boots");
+    assert_eq!(kernel.call_function("sys_getuid", &[]).ok(), Some(0));
+}

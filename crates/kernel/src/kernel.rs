@@ -304,13 +304,39 @@ impl Kernel {
         self.call_at(addr, args)
     }
 
+    /// Like [`Kernel::call_function`] but with an explicit step budget —
+    /// the fuzzer's differential runner uses a tight budget so a mutant
+    /// that loops forever costs milliseconds, not seconds.
+    pub fn call_function_limited(
+        &mut self,
+        entry: &str,
+        args: &[u64],
+        limit: u64,
+    ) -> Result<u64, CallError> {
+        let addr = self
+            .syms
+            .lookup_global(entry)
+            .map(|s| s.addr)
+            .ok_or_else(|| CallError::NoEntry(entry.to_string()))?;
+        self.call_at_limited(addr, args, limit)
+    }
+
     /// Like [`Kernel::call_function`] but with an absolute entry address.
     pub fn call_at(&mut self, addr: u64, args: &[u64]) -> Result<u64, CallError> {
+        self.call_at_limited(addr, args, 50_000_000)
+    }
+
+    /// [`Kernel::call_at`] with an explicit step budget.
+    pub fn call_at_limited(
+        &mut self,
+        addr: u64,
+        args: &[u64],
+        limit: u64,
+    ) -> Result<u64, CallError> {
         let tid = self
             .spawn_at(addr, args, "call")
             .map_err(CallError::Spawn)?;
         let mut steps = 0u64;
-        const LIMIT: u64 = 50_000_000;
         loop {
             let used = self.run_slice(tid, 4096);
             steps += used;
@@ -339,7 +365,7 @@ impl Kernel {
                 }
                 ThreadState::Runnable => {}
             }
-            if steps >= LIMIT {
+            if steps >= limit {
                 self.reap(tid);
                 return Err(CallError::StepLimit);
             }

@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+mod differential;
 mod fault;
 mod kallsyms;
 mod kernel;
@@ -44,6 +45,10 @@ mod mem;
 mod native;
 mod vm;
 
+pub use differential::{
+    diff_images, diff_traces, is_arena_addr, normalize_call, normalize_diag, traced_call,
+    DiffOptions, ImageDiffReport, RegionDelta, TraceEntry,
+};
 pub use fault::{Fault, FaultPlan, FiredFault};
 pub use kallsyms::{KSym, Kallsyms};
 pub use kernel::{

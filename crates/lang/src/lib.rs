@@ -50,9 +50,12 @@ mod codegen;
 mod fold;
 mod inline;
 mod lexer;
+mod mutate;
 mod parser;
+mod pretty;
 mod sema;
 mod token;
+mod visit;
 
 pub use asmfile::assemble_unit;
 pub use ast::{
@@ -66,7 +69,12 @@ pub use build::{
 pub use cache::{options_fingerprint, BuildCache, BuildStats, Fingerprint};
 pub use inline::{inline_report, InlineReport};
 pub use lexer::lex;
+pub use mutate::{apply_mutation, generate_mutant, FuzzRng, MutateError, Mutation, MutatorKind};
 pub use parser::parse_unit;
+pub use pretty::pretty_unit;
+pub use visit::{
+    walk_expr_mut, walk_stmts_exprs_mut, walk_unit_blocks_mut, walk_unit_fn_exprs_mut, BlockCx,
+};
 pub use sema::{check_unit, check_unit_with, HeaderContext, Sema, StructLayout, WORD};
 pub use token::{Token, TokenKind};
 

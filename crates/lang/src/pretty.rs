@@ -1,0 +1,497 @@
+//! AST pretty-printer: renders a [`Unit`] back to parseable `kc` source.
+//!
+//! The fuzzer mutates parsed ASTs but the `ksplice-create` pipeline
+//! consumes source text and unified diffs, so mutants must be rendered
+//! back to `kc`. The output is *canonical*: fixed 4-space indentation,
+//! every control-flow body braced, minimal precedence-respecting
+//! parentheses. Canonical form is a fixpoint — `pretty(parse(pretty(u)))
+//! == pretty(u)` — which makes textual diffs between a unit and its
+//! mutant minimal and stable.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole unit as canonical `kc` source.
+pub fn pretty_unit(unit: &Unit) -> String {
+    let mut out = String::new();
+    for (i, item) in unit.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        pretty_item(&mut out, item);
+    }
+    out
+}
+
+fn pretty_item(out: &mut String, item: &FileItem) {
+    match item {
+        FileItem::Struct(s) => {
+            let _ = writeln!(out, "struct {} {{", s.name);
+            for (name, ty) in &s.fields {
+                let _ = writeln!(out, "    {};", declarator(ty, name));
+            }
+            out.push_str("};\n");
+        }
+        FileItem::Global(g) => {
+            if g.is_static {
+                out.push_str("static ");
+            }
+            out.push_str(&declarator(&g.ty, &g.name));
+            if let Some(init) = &g.init {
+                out.push_str(" = ");
+                match init {
+                    Init::Scalar(e) => pretty_expr(out, e, 0),
+                    Init::List(items) => {
+                        out.push('{');
+                        for (i, e) in items.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            pretty_expr(out, e, 0);
+                        }
+                        out.push('}');
+                    }
+                }
+            }
+            out.push_str(";\n");
+        }
+        FileItem::Func(f) => {
+            if f.is_static {
+                out.push_str("static ");
+            }
+            if f.is_inline {
+                out.push_str("inline ");
+            }
+            let _ = write!(out, "int {}(", f.name);
+            for (i, (name, ty)) in f.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&declarator(ty, name));
+            }
+            out.push_str(") {\n");
+            for s in &f.body {
+                pretty_stmt(out, s, 1);
+            }
+            out.push_str("}\n");
+        }
+        FileItem::Hook { kind, func, .. } => {
+            let _ = writeln!(out, "{}({func});", kind.macro_name());
+        }
+        FileItem::Extern { name, is_func, .. } => {
+            if *is_func {
+                let _ = writeln!(out, "extern int {name}();");
+            } else {
+                let _ = writeln!(out, "extern int {name};");
+            }
+        }
+    }
+}
+
+/// A C-style declarator: base type, pointer stars, name, array suffix.
+fn declarator(ty: &Type, name: &str) -> String {
+    let (elem, array) = match ty {
+        Type::Array(elem, n) => (elem.as_ref(), Some(*n)),
+        other => (other, None),
+    };
+    let mut stars = String::new();
+    let mut base = elem;
+    while let Type::Ptr(inner) = base {
+        stars.push('*');
+        base = inner;
+    }
+    let base_name = match base {
+        Type::Int => "int".to_string(),
+        Type::Byte => "byte".to_string(),
+        Type::Struct(s) => format!("struct {s}"),
+        // Unreachable by construction (pointers/arrays peeled above), but
+        // render something parseable rather than panic.
+        Type::Ptr(_) | Type::Array(..) => "int".to_string(),
+    };
+    match array {
+        Some(n) => format!("{base_name} {stars}{name}[{n}]"),
+        None => format!("{base_name} {stars}{name}"),
+    }
+}
+
+/// `sizeof` accepts only a base type plus pointer stars.
+fn sizeof_type(ty: &Type) -> String {
+    let mut stars = String::new();
+    let mut base = ty;
+    while let Type::Ptr(inner) = base {
+        stars.push('*');
+        base = inner;
+    }
+    let base_name = match base {
+        Type::Int => "int".to_string(),
+        Type::Byte => "byte".to_string(),
+        Type::Struct(s) => format!("struct {s}"),
+        Type::Ptr(_) | Type::Array(..) => "int".to_string(),
+    };
+    format!("{base_name}{stars}")
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn pretty_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match &stmt.kind {
+        StmtKind::Decl {
+            name,
+            ty,
+            is_static,
+            init,
+        } => {
+            if *is_static {
+                out.push_str("static ");
+            }
+            out.push_str(&declarator(ty, name));
+            if let Some(e) = init {
+                out.push_str(" = ");
+                pretty_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            pretty_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, value } => {
+            pretty_expr(out, target, 0);
+            out.push_str(" = ");
+            pretty_expr(out, value, 0);
+            out.push_str(";\n");
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push_str("if (");
+            pretty_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for s in then_body {
+                pretty_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    pretty_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while (");
+            pretty_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for s in body {
+                pretty_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            if let Some(s) = init {
+                pretty_simple(out, s);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                pretty_expr(out, c, 0);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                pretty_simple(out, s);
+            }
+            out.push_str(") {\n");
+            for s in body {
+                pretty_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(e) => {
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                pretty_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Block(body) => {
+            out.push_str("{\n");
+            for s in body {
+                pretty_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// A `for`-header statement: assignment or expression, no semicolon.
+fn pretty_simple(out: &mut String, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::Assign { target, value } => {
+            pretty_expr(out, target, 0);
+            out.push_str(" = ");
+            pretty_expr(out, value, 0);
+        }
+        StmtKind::Expr(e) => pretty_expr(out, e, 0),
+        // Other kinds cannot appear in a `for` header; render as a
+        // parseable no-op expression to stay total.
+        _ => out.push('0'),
+    }
+}
+
+/// Binary-operator precedence, matching the parser's levels exactly.
+fn bin_level(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::LOr => 1,
+        BinaryOp::LAnd => 2,
+        BinaryOp::BitOr => 3,
+        BinaryOp::BitXor => 4,
+        BinaryOp::BitAnd => 5,
+        BinaryOp::Eq | BinaryOp::Ne => 6,
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 7,
+        BinaryOp::Shl | BinaryOp::Shr => 8,
+        BinaryOp::Add | BinaryOp::Sub => 9,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 10,
+    }
+}
+
+fn bin_token(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Mod => "%",
+        BinaryOp::BitAnd => "&",
+        BinaryOp::BitOr => "|",
+        BinaryOp::BitXor => "^",
+        BinaryOp::Shl => "<<",
+        BinaryOp::Shr => ">>",
+        BinaryOp::Eq => "==",
+        BinaryOp::Ne => "!=",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+        BinaryOp::LAnd => "&&",
+        BinaryOp::LOr => "||",
+    }
+}
+
+/// The precedence of an expression's top node: binaries use the parser's
+/// level, unaries bind tighter (11), postfix tighter still (12), atoms
+/// never need parentheses (13). A negative literal renders as a unary
+/// minus, so it carries unary precedence.
+fn expr_level(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Binary(op, ..) => bin_level(*op),
+        ExprKind::Unary(..) => 11,
+        ExprKind::Num(v) if *v < 0 => 11,
+        ExprKind::Call { .. } | ExprKind::Index(..) | ExprKind::Field(..) | ExprKind::PField(..) => {
+            12
+        }
+        ExprKind::Num(_) | ExprKind::Str(_) | ExprKind::Ident(_) | ExprKind::Sizeof(_) => 13,
+    }
+}
+
+/// Writes `e`, parenthesizing when its top-level binding is looser than
+/// `min_level` (the context's requirement).
+fn pretty_expr(out: &mut String, e: &Expr, min_level: u8) {
+    let level = expr_level(e);
+    let parens = level < min_level;
+    if parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::Num(v) => {
+            if *v == i64::MIN {
+                // `abs` would overflow; render as an equivalent constant
+                // expression the lexer can take.
+                out.push_str("(0 - 9223372036854775807 - 1)");
+            } else if *v < 0 {
+                let _ = write!(out, "-{}", v.unsigned_abs());
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::Str(bytes) => {
+            out.push('"');
+            for &b in bytes {
+                match b {
+                    b'\n' => out.push_str("\\n"),
+                    b'\t' => out.push_str("\\t"),
+                    0 => out.push_str("\\0"),
+                    b'\\' => out.push_str("\\\\"),
+                    b'"' => out.push_str("\\\""),
+                    0x20..=0x7e => out.push(b as char),
+                    // No numeric escape exists in `kc`; degrade losslessly
+                    // enough for canonical-form purposes.
+                    _ => out.push('?'),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Ident(name) => out.push_str(name),
+        ExprKind::Unary(op, operand) => {
+            let tok = match op {
+                UnaryOp::Neg => '-',
+                UnaryOp::BitNot => '~',
+                UnaryOp::LNot => '!',
+                UnaryOp::Deref => '*',
+                UnaryOp::Addr => '&',
+            };
+            out.push(tok);
+            // `-` followed by a negative rendering would fuse into `--`,
+            // and `&` before another `&` into `&&`; keep the operand
+            // parenthesized in those cases.
+            let clash = match (op, &operand.kind) {
+                (UnaryOp::Neg, ExprKind::Unary(UnaryOp::Neg, _)) => true,
+                (UnaryOp::Neg, ExprKind::Num(v)) => *v < 0,
+                (UnaryOp::Addr, ExprKind::Unary(UnaryOp::Addr, _)) => true,
+                _ => false,
+            };
+            if clash {
+                out.push('(');
+                pretty_expr(out, operand, 0);
+                out.push(')');
+            } else {
+                pretty_expr(out, operand, 11);
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let lv = bin_level(*op);
+            pretty_expr(out, l, lv);
+            let _ = write!(out, " {} ", bin_token(*op));
+            pretty_expr(out, r, lv + 1);
+        }
+        ExprKind::Call { callee, args } => {
+            pretty_expr(out, callee, 12);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                pretty_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        ExprKind::Index(base, idx) => {
+            pretty_expr(out, base, 12);
+            out.push('[');
+            pretty_expr(out, idx, 0);
+            out.push(']');
+        }
+        ExprKind::Field(base, f) => {
+            pretty_expr(out, base, 12);
+            out.push('.');
+            out.push_str(f);
+        }
+        ExprKind::PField(base, f) => {
+            pretty_expr(out, base, 12);
+            out.push_str("->");
+            out.push_str(f);
+        }
+        ExprKind::Sizeof(ty) => {
+            let _ = write!(out, "sizeof({})", sizeof_type(ty));
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn roundtrip(src: &str) -> String {
+        let u = parse_unit("t.kc", src).expect("original parses");
+        let first = pretty_unit(&u);
+        let u2 = parse_unit("t.kc", &first).expect("pretty output parses");
+        let second = pretty_unit(&u2);
+        assert_eq!(first, second, "canonical form must be a fixpoint");
+        first
+    }
+
+    #[test]
+    fn fixpoint_on_control_flow() {
+        let s = roundtrip(
+            "int f(int a, int b) { int i; for (i = 0; i < a; i = i + 1) \
+             { if (b > 10) return b; else b = b + i; } while (b) { break; } return 0; }",
+        );
+        assert!(s.contains("for (i = 0; i < a; i = i + 1) {"));
+        assert!(s.contains("} else {"));
+    }
+
+    #[test]
+    fn minimal_parens_preserve_precedence() {
+        let src = "int f(int a) { return (a + 1) * 2 - a / (3 + a) && !(a == 4); }";
+        let u = parse_unit("t.kc", src).unwrap();
+        let printed = pretty_unit(&u);
+        let u2 = parse_unit("t.kc", &printed).unwrap();
+        // Same AST shape modulo line numbers: compare canonical renderings.
+        assert_eq!(printed, pretty_unit(&u2));
+        assert!(printed.contains("(a + 1) * 2"));
+        assert!(!printed.contains("((a + 1))"), "no redundant parens: {printed}");
+    }
+
+    #[test]
+    fn negative_literals_and_unary_chains() {
+        roundtrip("int f() { return 0 - 22; }");
+        let u = parse_unit("t.kc", "int f() { return -5 - -3; }").unwrap();
+        let printed = pretty_unit(&u);
+        assert!(!printed.contains("--"), "no token fusion: {printed}");
+        roundtrip(&printed);
+    }
+
+    #[test]
+    fn globals_structs_hooks_externs() {
+        let s = roundtrip(
+            "struct task { int pid; struct task *next; int name[16]; };\
+             static struct task init_task;\
+             int prime[4] = {2, 3, 5, 7};\
+             byte banner[8] = \"K64\\n\";\
+             extern int printk(byte *fmt);\
+             extern int jiffies;\
+             static inline int min2(int a, int b) { if (a < b) { return a; } return b; }\
+             ksplice_apply(min2);",
+        );
+        assert!(s.contains("struct task *next;"));
+        assert!(s.contains("byte banner[8] = \"K64\\n\";"));
+        assert!(s.contains("extern int printk();"));
+        assert!(s.contains("extern int jiffies;"));
+        assert!(s.contains("ksplice_apply(min2);"));
+    }
+
+    #[test]
+    fn sizeof_and_pointer_declarators() {
+        let s = roundtrip(
+            "int f(struct file *fp, byte **names) { return sizeof(struct file) + sizeof(int*) + fp->mode + (*names)[0]; }",
+        );
+        assert!(s.contains("sizeof(struct file)"));
+        assert!(s.contains("byte **names"));
+    }
+}

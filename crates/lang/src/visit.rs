@@ -1,0 +1,220 @@
+//! In-place AST traversal used by the fuzzer's mutators.
+//!
+//! Every walker visits nodes in a single canonical order (item order,
+//! then statement order, then left-to-right inside expressions), so a
+//! "site index" — the N-th visited node of some kind — identifies the
+//! same node on every walk of the same unit. Mutation descriptors are
+//! serialized as site indices and replayed deterministically on top of
+//! this guarantee.
+
+use crate::ast::*;
+
+/// Visits every expression in a statement list in pre-order (each node
+/// before its children), mutably.
+pub fn walk_stmts_exprs_mut(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
+    for s in stmts {
+        walk_stmt_exprs_mut(s, f);
+    }
+}
+
+fn walk_stmt_exprs_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match &mut stmt.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                walk_expr_mut(e, f);
+            }
+        }
+        StmtKind::Expr(e) => walk_expr_mut(e, f),
+        StmtKind::Assign { target, value } => {
+            walk_expr_mut(target, f);
+            walk_expr_mut(value, f);
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            walk_expr_mut(cond, f);
+            walk_stmts_exprs_mut(then_body, f);
+            walk_stmts_exprs_mut(else_body, f);
+        }
+        StmtKind::While { cond, body } => {
+            walk_expr_mut(cond, f);
+            walk_stmts_exprs_mut(body, f);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                walk_stmt_exprs_mut(s, f);
+            }
+            if let Some(c) = cond {
+                walk_expr_mut(c, f);
+            }
+            if let Some(s) = step {
+                walk_stmt_exprs_mut(s, f);
+            }
+            walk_stmts_exprs_mut(body, f);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                walk_expr_mut(e, f);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(body) => walk_stmts_exprs_mut(body, f),
+    }
+}
+
+/// Visits an expression tree in pre-order, mutably.
+pub fn walk_expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    f(e);
+    match &mut e.kind {
+        ExprKind::Unary(_, operand) => walk_expr_mut(operand, f),
+        ExprKind::Binary(_, l, r) => {
+            walk_expr_mut(l, f);
+            walk_expr_mut(r, f);
+        }
+        ExprKind::Call { callee, args } => {
+            walk_expr_mut(callee, f);
+            for a in args {
+                walk_expr_mut(a, f);
+            }
+        }
+        ExprKind::Index(base, idx) => {
+            walk_expr_mut(base, f);
+            walk_expr_mut(idx, f);
+        }
+        ExprKind::Field(base, _) | ExprKind::PField(base, _) => walk_expr_mut(base, f),
+        ExprKind::Num(_) | ExprKind::Str(_) | ExprKind::Ident(_) | ExprKind::Sizeof(_) => {}
+    }
+}
+
+/// Visits every expression in every function body of the unit, in
+/// canonical order (global initialisers are *not* visited — data edits
+/// are a separate mutator with different pipeline semantics).
+pub fn walk_unit_fn_exprs_mut(unit: &mut Unit, f: &mut impl FnMut(&mut Expr)) {
+    for item in &mut unit.items {
+        if let FileItem::Func(func) = item {
+            walk_stmts_exprs_mut(&mut func.body, f);
+        }
+    }
+}
+
+/// A statement-list visitor context: the `int`-typed variable names in
+/// scope at the *start* of the visited block (parameters plus locals
+/// declared in enclosing blocks before it).
+pub struct BlockCx<'a> {
+    /// Scalar `int` variables usable by synthesized statements.
+    pub scope_ints: &'a [String],
+    /// Nesting depth: 0 for a function's top-level body.
+    pub depth: usize,
+}
+
+/// Visits every statement list (function bodies and all nested
+/// control-flow bodies) of every function, in canonical order, with the
+/// in-scope `int` variables at block entry. The callback may insert or
+/// remove statements in the visited block; nested blocks of *newly
+/// inserted* statements are not re-visited (the walk snapshots the list
+/// length on entry).
+pub fn walk_unit_blocks_mut(unit: &mut Unit, f: &mut impl FnMut(&mut Vec<Stmt>, &BlockCx)) {
+    for item in &mut unit.items {
+        if let FileItem::Func(func) = item {
+            let mut scope: Vec<String> = func
+                .params
+                .iter()
+                .filter(|(_, ty)| matches!(ty, Type::Int))
+                .map(|(n, _)| n.clone())
+                .collect();
+            walk_block_mut(&mut func.body, &mut scope, 0, f);
+        }
+    }
+}
+
+fn walk_block_mut(
+    block: &mut Vec<Stmt>,
+    scope: &mut Vec<String>,
+    depth: usize,
+    f: &mut impl FnMut(&mut Vec<Stmt>, &BlockCx),
+) {
+    let scope_base = scope.len();
+    f(
+        block,
+        &BlockCx {
+            scope_ints: &scope[..],
+            depth,
+        },
+    );
+    let visit_len = block.len();
+    for i in 0..visit_len {
+        if i >= block.len() {
+            break;
+        }
+        // Record declarations as they pass so nested blocks see them.
+        if let StmtKind::Decl { name, ty, .. } = &block[i].kind {
+            if matches!(ty, Type::Int) {
+                scope.push(name.clone());
+            }
+            continue;
+        }
+        match &mut block[i].kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_block_mut(then_body, scope, depth + 1, f);
+                walk_block_mut(else_body, scope, depth + 1, f);
+            }
+            StmtKind::While { body, .. } => walk_block_mut(body, scope, depth + 1, f),
+            StmtKind::For { body, .. } => walk_block_mut(body, scope, depth + 1, f),
+            StmtKind::Block(body) => walk_block_mut(body, scope, depth + 1, f),
+            _ => {}
+        }
+    }
+    scope.truncate(scope_base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    const SRC: &str = "int f(int a, byte *p) {\
+        int x;\
+        x = a + 1;\
+        if (x > 2) { int y; y = x * 3; while (y) { y = y - 1; } }\
+        return x;\
+    }";
+
+    #[test]
+    fn expr_walk_order_is_stable() {
+        let mut u = parse_unit("t.kc", SRC).unwrap();
+        let mut nums = Vec::new();
+        walk_unit_fn_exprs_mut(&mut u, &mut |e| {
+            if let ExprKind::Num(v) = e.kind {
+                nums.push(v);
+            }
+        });
+        assert_eq!(nums, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn block_walk_sees_scope() {
+        let mut u = parse_unit("t.kc", SRC).unwrap();
+        let mut seen = Vec::new();
+        walk_unit_blocks_mut(&mut u, &mut |block, cx| {
+            seen.push((block.len(), cx.depth, cx.scope_ints.to_vec()));
+        });
+        // Function body (param a, not byte* p), then if-then block (a, x),
+        // then the while body nested in it (a, x, y), then the empty else.
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0].2, vec!["a".to_string()]);
+        assert_eq!(seen[1].2, vec!["a".to_string(), "x".to_string()]);
+        assert_eq!(seen[2].2, vec!["a".to_string(), "x".to_string(), "y".to_string()]);
+        assert_eq!(seen[3].2, vec!["a".to_string(), "x".to_string()]);
+    }
+}

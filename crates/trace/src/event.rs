@@ -32,11 +32,13 @@ pub enum Stage {
     Cli,
     /// Benchmark and evaluation harnesses.
     Bench,
+    /// Randomized patch campaigns and the differential oracle.
+    Fuzz,
 }
 
 impl Stage {
     /// Every stage, in taxonomy order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Create,
         Stage::Differ,
         Stage::RunPre,
@@ -46,6 +48,7 @@ impl Stage {
         Stage::Stream,
         Stage::Cli,
         Stage::Bench,
+        Stage::Fuzz,
     ];
 
     /// The lowercase wire name (`"apply"`, `"runpre"`, …).
@@ -60,6 +63,7 @@ impl Stage {
             Stage::Stream => "stream",
             Stage::Cli => "cli",
             Stage::Bench => "bench",
+            Stage::Fuzz => "fuzz",
         }
     }
 
