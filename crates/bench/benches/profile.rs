@@ -1,0 +1,61 @@
+//! Profiler overhead and migration evidence — the `ksplice-perf` bench.
+//!
+//! One headline run writes BENCH_profile.json: a full pre/post sampling
+//! profile of CVE-2005-1263 under the stress workload, recording
+//! `bench.profile_ms` wall-clock alongside the profiler's own counters
+//! (`profile.samples_recorded`, `profile.functions_migrated`). The
+//! migration count is the paper-facing claim: after apply, the hot path
+//! runs out of the patch arena, and the profile proves it.
+//!
+//! Criterion then times a short two-round profile for the per-run cost.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_core::Tracer;
+use ksplice_eval::{run_profile, ProfileConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProfileConfig {
+        rounds: 12,
+        ..ProfileConfig::default()
+    };
+    let mut tracer = Tracer::new();
+    let t = Instant::now();
+    let report = run_profile("CVE-2005-1263", &cfg, &mut tracer).expect("profile run");
+    let profile_ms = t.elapsed().as_millis();
+    tracer.count("bench.profile_ms", profile_ms as u64);
+    assert!(
+        !report.migrated.is_empty(),
+        "profile shows no function migrating into the patch arena"
+    );
+    println!(
+        "\n== profile: {} pre / {} post samples, {} fn(s) migrated into the arena, {profile_ms} ms ==\n",
+        report.pre.samples,
+        report.post.samples,
+        report.migrated.len()
+    );
+    std::fs::write("BENCH_profile.json", tracer.metrics_json())
+        .expect("write BENCH_profile.json");
+
+    c.bench_function("profile/two_rounds", |b| {
+        b.iter(|| {
+            run_profile(
+                "CVE-2005-1263",
+                &ProfileConfig {
+                    rounds: 2,
+                    ..ProfileConfig::default()
+                },
+                &mut Tracer::disabled(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! `bench-index` — folds every `BENCH_*.json` metric dump in a
+//! directory into one versioned, schema-checked `BENCH_summary.json`.
+//!
+//! Usage: `bench-index [DIR] [--out PATH]`
+//!
+//! `DIR` defaults to the current directory (where `cargo bench` drops
+//! its dumps); the summary defaults to `DIR/BENCH_summary.json`. Exits
+//! nonzero when no dump is found or any dump fails validation, so a
+//! malformed bench artifact fails CI loudly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ksplice_bench::index_bench_files;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("bench-index: --out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(path));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench-index [DIR] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("bench-index: unknown flag {flag}");
+                return ExitCode::FAILURE;
+            }
+            path => {
+                dir = PathBuf::from(path);
+                i += 1;
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| dir.join("BENCH_summary.json"));
+    match index_bench_files(&dir) {
+        Ok((summary, names)) => {
+            if let Err(e) = std::fs::write(&out, &summary) {
+                eprintln!("bench-index: {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "indexed {} bench dump(s) ({}) into {}",
+                names.len(),
+                names.join(", "),
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-index: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

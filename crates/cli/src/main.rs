@@ -7,8 +7,9 @@
 //! ksplice inspect <pack.kupd>
 //! ksplice demo   [--cve <id>]           # boot, exploit, hot-patch, re-exploit
 //! ksplice eval   [--stress <rounds>] [--jobs <n>]   # the full §6 evaluation
+//! ksplice profile [--cve <id>] [--flame <file>]     # sample the hot path pre/post apply
 //! ksplice list                          # the 64-CVE corpus
-//! ksplice report <trace.jsonl>          # summarise a recorded trace
+//! ksplice report <trace.jsonl> [--spans] [--timeline <file>]
 //! ```
 //!
 //! Every command accepts the global flags `--trace <path>` (write the
@@ -28,12 +29,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ksplice_core::trace::{Event, HumanSink, JsonlSink, Severity, Stage, Tracer, Value};
+use ksplice_core::trace::{
+    chrome_trace_json, render_span_tree, Event, HumanSink, JsonlSink, Severity, Stage, Tracer,
+    Value,
+};
 use ksplice_core::{
     create_update_traced, ApplyOptions, CreateOptions, HealthProbe, Ksplice, RetryPolicy,
     UpdateManager, UpdatePack, WatchPolicy,
 };
-use ksplice_eval::{base_tree, corpus, run_exploit};
+use ksplice_eval::{base_tree, corpus, quiescence_correlation, run_exploit, run_profile, ProfileConfig};
 use ksplice_kernel::{Fault, Kernel};
 use ksplice_lang::{Options, SourceTree};
 
@@ -72,23 +76,26 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("demo") => cmd_demo(&args[1..], &mut tracer),
         Some("eval") => cmd_eval(&args[1..], &mut tracer),
+        Some("profile") => cmd_profile(&args[1..], &mut tracer),
         Some("fuzz") => cmd_fuzz(&args[1..], &mut tracer),
         Some("status") => cmd_status(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|status|list|report> [options]\n\
+                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|status|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>] [--retry-policy <spec>] [--fault <site>]... [--fault-seed <n>]\
                  \n          [--watch-rounds <n>] [--probe <fn(args)=expected>]... [--undo]\
                  \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>]\
+                 \n  profile [--cve <id>] [--interval <steps>] [--samples <n>] [--rounds <n>]\
+                 \n          [--seed <n>] [--flame <file>] [--json] [--correlate]\
                  \n  fuzz    [--seed <n>] [--mutants <n>] [--workload syscalls|stress|both]\
                  \n          [--jobs <n>] [--emit <dir>] [--replay <dir>]\
                  \n  status  [--cve <id>]... [--undo <id>] [--watch-rounds <n>] [--probe <spec>]...\
                  \n  list\
-                 \n  report  <trace.jsonl>\
+                 \n  report  <trace.jsonl> [--spans] [--timeline <file>]\
                  \n\
                  \n  retry-policy spec: fixed:ATTEMPTS:DELAY | exp:ATTEMPTS:INITIAL:MAX, with\
                  \n  optional :jPCT (jitter) and :cSTEPS (abandon cooldown) modifiers\
@@ -494,8 +501,52 @@ fn cmd_eval(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     }
     let apply_opts = retry_policy_arg(args)?;
     let report = ksplice_eval::run_full_evaluation_opts(rounds, jobs, &apply_opts, tracer)?;
-    tracer.count("eval.cases", report.outcomes.len() as u64);
+    tracer.count("eval.cases_run", report.outcomes.len() as u64);
     println!("{}", report.render());
+    Ok(())
+}
+
+/// `ksplice profile`: PC-sampling profile of an update's hot path —
+/// sample the stress workload on the unpatched kernel, apply the CVE's
+/// update, sample again, and show which functions migrated into the
+/// patch arena. `--flame` writes the post-apply collapsed stacks;
+/// `--correlate` additionally measures observed stop_machine abort rates
+/// against the profiler's quiescence-risk ranking.
+fn cmd_profile(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
+    let cve = flag_value(args, "--cve").unwrap_or("CVE-2005-1263");
+    let mut cfg = ProfileConfig::default();
+    if let Some(s) = flag_value(args, "--interval") {
+        cfg.interval = s.parse().map_err(|_| "bad --interval value".to_string())?;
+        if cfg.interval == 0 {
+            return Err("bad --interval value".to_string());
+        }
+    }
+    if let Some(s) = flag_value(args, "--samples") {
+        cfg.max_samples = s.parse().map_err(|_| "bad --samples value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--rounds") {
+        cfg.rounds = s.parse().map_err(|_| "bad --rounds value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    let report = run_profile(cve, &cfg, tracer)?;
+    if let Some(path) = flag_value(args, "--flame") {
+        std::fs::write(path, &report.post.folded).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} collapsed stack(s) to {path}",
+            report.post.folded.lines().count()
+        );
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if args.iter().any(|a| a == "--correlate") {
+        let corr = quiescence_correlation(&cfg, 60, 3, tracer)?;
+        print!("{}", corr.render());
+    }
     Ok(())
 }
 
@@ -596,7 +647,10 @@ fn cmd_list() -> Result<(), String> {
 }
 
 /// Summarises a JSONL trace: per-stage event counts, stop_machine
-/// attempt history, and any recorded mismatches/aborts.
+/// attempt history, and any recorded mismatches/aborts. `--spans`
+/// renders the causal span tree; `--timeline <file>` exports the trace
+/// as Chrome trace JSON (load in Perfetto or `chrome://tracing`; `-`
+/// writes to stdout).
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let file = args.first().ok_or("report: missing trace file")?;
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
@@ -646,6 +700,24 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                     e.u64_field("busy_tid").unwrap_or(0)
                 );
             }
+        }
+    }
+    if args.iter().any(|a| a == "--spans") {
+        let tree = render_span_tree(&events);
+        if tree.is_empty() {
+            println!("no spans recorded");
+        } else {
+            println!("spans:");
+            print!("{tree}");
+        }
+    }
+    if let Some(path) = flag_value(args, "--timeline") {
+        let json = chrome_trace_json(&events);
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)");
         }
     }
     for e in &events {

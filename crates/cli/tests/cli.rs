@@ -212,3 +212,111 @@ fn create_rejects_nonapplying_patch() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn report_timeline_is_valid_chrome_trace_json() {
+    use ksplice_core::trace::{parse_json_object, JsonValue};
+
+    let dir = std::env::temp_dir().join(format!("ksplice-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("demo.jsonl");
+    let trace = dir.join("demo.trace.json");
+
+    let out = ksplice()
+        .args([
+            "--trace",
+            jsonl.to_str().unwrap(),
+            "--quiet",
+            "demo",
+            "--cve",
+            "CVE-2005-1263",
+            "--watch-rounds",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = ksplice()
+        .args([
+            "report",
+            jsonl.to_str().unwrap(),
+            "--timeline",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The acceptance bar: the file parses as Chrome trace JSON — a top
+    // level object holding a traceEvents array of complete events.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = parse_json_object(&text).expect("timeline is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut names = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("ph");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph:?}");
+        assert!(ev.get("ts").and_then(JsonValue::as_u64).is_some());
+        if ph == "X" {
+            // Complete (span) events carry a duration and their span id.
+            assert!(ev.get("dur").and_then(JsonValue::as_u64).unwrap_or(0) >= 1);
+            assert!(ev
+                .get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(JsonValue::as_u64)
+                .is_some());
+            names.push(ev.get("name").and_then(JsonValue::as_str).unwrap().to_string());
+        }
+    }
+    // The span hierarchy the demo lifecycle is expected to produce.
+    for expected in ["create", "update", "preflight", "apply", "apply.attempt", "watch"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing span `{expected}` in {names:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_is_deterministic_across_processes() {
+    // The CI determinism smoke in binary form: the same seed and config
+    // must produce byte-identical JSON reports in separate processes.
+    let run = || {
+        let out = ksplice()
+            .args([
+                "--quiet",
+                "profile",
+                "--cve",
+                "CVE-2005-1263",
+                "--rounds",
+                "8",
+                "--seed",
+                "7",
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    assert!(first.contains("\"migrated\""), "unexpected report: {first}");
+    assert_eq!(first, run());
+}

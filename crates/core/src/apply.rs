@@ -365,6 +365,21 @@ impl Ksplice {
         opts: &ApplyOptions,
         tracer: &mut Tracer,
     ) -> Result<ApplyReport, ApplyError> {
+        tracer.set_now(kernel.steps);
+        let span = tracer.span_start(Stage::Apply, "apply", vec![("id", pack.id.as_str().into())]);
+        let result = self.apply_inner(kernel, pack, opts, tracer);
+        tracer.set_now(kernel.steps);
+        tracer.span_end(span);
+        result
+    }
+
+    fn apply_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        pack: &UpdatePack,
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<ApplyReport, ApplyError> {
         self.counter += 1;
         let tag = format!("ksplice{}_{}", self.counter, sanitize(&pack.id));
         tracer.set_now(kernel.steps);
@@ -684,6 +699,11 @@ impl Ksplice {
         let pause;
         loop {
             attempt += 1;
+            let attempt_span = tracer.span_start(
+                Stage::Apply,
+                "apply.attempt",
+                vec![("attempt", attempt.into())],
+            );
             let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
@@ -746,6 +766,7 @@ impl Ksplice {
                         );
                     }
                     tracer.count("apply.trampolines_written", sites.len() as u64);
+                    tracer.span_end(attempt_span);
                     break;
                 }
                 Err(e) => {
@@ -783,8 +804,10 @@ impl Ksplice {
                         );
                         kernel.run(delay);
                         tracer.set_now(kernel.steps);
+                        tracer.span_end(attempt_span);
                         continue;
                     }
+                    tracer.span_end(attempt_span);
                     rollback_modules(kernel);
                     cooldown(kernel, tracer, Stage::Apply, opts.retry.cooldown_steps);
                     verify_text_restored(kernel, tracer, Stage::Apply, text_before);
@@ -898,8 +921,10 @@ impl Ksplice {
             "undo.start",
             vec![("id", id.into())],
         );
+        let span = tracer.span_start(Stage::Undo, "undo", vec![("id", id.into())]);
         let result = self.undo_inner(kernel, id, opts, tracer);
         tracer.set_now(kernel.steps);
+        tracer.span_end(span);
         match &result {
             Ok(report) => {
                 tracer.emit(
@@ -983,6 +1008,11 @@ impl Ksplice {
         let pause;
         loop {
             attempt += 1;
+            let attempt_span = tracer.span_start(
+                Stage::Undo,
+                "undo.attempt",
+                vec![("attempt", attempt.into())],
+            );
             let result = kernel.stop_machine(|k| -> Result<(), StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
@@ -1042,6 +1072,7 @@ impl Ksplice {
                             ],
                         );
                     }
+                    tracer.span_end(attempt_span);
                     break;
                 }
                 Err(e) => {
@@ -1077,8 +1108,10 @@ impl Ksplice {
                         );
                         kernel.run(delay);
                         tracer.set_now(kernel.steps);
+                        tracer.span_end(attempt_span);
                         continue;
                     }
+                    tracer.span_end(attempt_span);
                     cooldown(kernel, tracer, Stage::Undo, opts.retry.cooldown_steps);
                     verify_text_restored(kernel, tracer, Stage::Undo, text_before);
                     return Err(match hook_detail {
@@ -1136,7 +1169,7 @@ pub(crate) fn cooldown(kernel: &mut Kernel, tracer: &mut Tracer, stage: Stage, s
 /// Checks the clean-abort invariant after a rollback: mapped kernel text
 /// must hash identically to the pre-apply (or pre-undo) image. Emits a
 /// `*.rollback_verified` event either way; a mismatch is an `Error`
-/// event plus a `rollback.text_mismatch` count, never a panic — the
+/// event plus an `undo.rollbacks_mismatched` count, never a panic — the
 /// kernel must limp on so the operator can inspect it.
 pub(crate) fn verify_text_restored(
     kernel: &Kernel,
@@ -1161,7 +1194,7 @@ pub(crate) fn verify_text_restored(
         vec![("restored", restored.into())],
     );
     if !restored {
-        tracer.count("rollback.text_mismatch", 1);
+        tracer.count("undo.rollbacks_mismatched", 1);
     }
     restored
 }

@@ -138,9 +138,24 @@ pub fn create_update_cached(
 }
 
 /// [`create_update_cached`] with build/diff/package events on `tracer`,
-/// plus `build.cache_hit` / `build.cache_miss` / `build.cache_evict` /
-/// `build.units_compiled` counters covering both builds.
+/// plus `build.cache_hits` / `build.cache_misses` / `build.cache_evictions`
+/// / `build.units_compiled` counters covering both builds, all inside a
+/// `create` span.
 pub fn create_update_cached_traced(
+    id: &str,
+    source: &SourceTree,
+    patch_text: &str,
+    opts: &CreateOptions,
+    cache: &BuildCache,
+    tracer: &mut Tracer,
+) -> Result<(UpdatePack, SourceTree), CreateError> {
+    let span = tracer.span_start(Stage::Create, "create", vec![("id", id.into())]);
+    let result = create_inner(id, source, patch_text, opts, cache, tracer);
+    tracer.span_end(span);
+    result
+}
+
+fn create_inner(
     id: &str,
     source: &SourceTree,
     patch_text: &str,
@@ -199,9 +214,9 @@ pub fn create_update_cached_traced(
     };
     let mut build_stats = pre_stats;
     build_stats.absorb(post_stats);
-    tracer.count("build.cache_hit", build_stats.hits);
-    tracer.count("build.cache_miss", build_stats.misses);
-    tracer.count("build.cache_evict", build_stats.evictions);
+    tracer.count("build.cache_hits", build_stats.hits);
+    tracer.count("build.cache_misses", build_stats.misses);
+    tracer.count("build.cache_evictions", build_stats.evictions);
     tracer.count("build.units_compiled", build_stats.units_compiled());
     tracer.emit(
         Stage::Create,
@@ -312,7 +327,7 @@ mod tests {
         // Pre compiles all 3 units cold; post recompiles only m.kc and
         // hits the cache for the other two.
         assert_eq!(tracer.counter("build.units_compiled"), 4);
-        assert_eq!(tracer.counter("build.cache_hit"), 2);
+        assert_eq!(tracer.counter("build.cache_hits"), 2);
         // A second create against the same tree: pre is fully cached.
         let mut tracer2 = Tracer::new();
         let (pack2, _) = create_update_cached_traced(
@@ -325,7 +340,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tracer2.counter("build.units_compiled"), 0);
-        assert_eq!(tracer2.counter("build.cache_hit"), 6);
+        assert_eq!(tracer2.counter("build.cache_hits"), 6);
         // Byte-identical product either way (the correctness bar: the
         // differ and run-pre matching consume these bytes).
         assert_eq!(pack.to_bytes(), pack2.to_bytes());

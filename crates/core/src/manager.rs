@@ -135,8 +135,25 @@ impl std::error::Error for PreflightError {}
 /// kernel's symbol table, without touching kernel state. Emits
 /// `preflight.*` events: `preflight.start`, then `preflight.ok`,
 /// `preflight.supersedes` (the legitimate §5.4 same-unit re-patch) or an
-/// error-severity `preflight.reject` plus a `preflight.rejects` count.
+/// error-severity `preflight.reject` plus an `apply.packs_rejected`
+/// count, all inside a `preflight` span.
 pub fn preflight(
+    ks: &Ksplice,
+    kernel: &Kernel,
+    pack: &UpdatePack,
+    tracer: &mut Tracer,
+) -> Result<(), PreflightError> {
+    let span = tracer.span_start(
+        Stage::Apply,
+        "preflight",
+        vec![("id", pack.id.as_str().into())],
+    );
+    let result = preflight_spanned(ks, kernel, pack, tracer);
+    tracer.span_end(span);
+    result
+}
+
+fn preflight_spanned(
     ks: &Ksplice,
     kernel: &Kernel,
     pack: &UpdatePack,
@@ -160,7 +177,7 @@ pub fn preflight(
             vec![("id", pack.id.as_str().into())],
         ),
         Err(e) => {
-            tracer.count("preflight.rejects", 1);
+            tracer.count("apply.packs_rejected", 1);
             tracer.emit(
                 Stage::Apply,
                 Severity::Error,
@@ -614,6 +631,25 @@ impl UpdateManager {
         tracer: &mut Tracer,
     ) -> Result<ApplyReport, LifecycleError> {
         tracer.set_now(kernel.steps);
+        let span = tracer.span_start(
+            Stage::Apply,
+            "update",
+            vec![("id", pack.id.as_str().into())],
+        );
+        let result = self.apply_watched_inner(kernel, pack, probes, opts, tracer);
+        tracer.set_now(kernel.steps);
+        tracer.span_end(span);
+        result
+    }
+
+    fn apply_watched_inner(
+        &mut self,
+        kernel: &mut Kernel,
+        pack: &UpdatePack,
+        probes: &mut [HealthProbe],
+        opts: &ApplyOptions,
+        tracer: &mut Tracer,
+    ) -> Result<ApplyReport, LifecycleError> {
         preflight(&self.ks, kernel, pack, tracer).map_err(LifecycleError::Preflight)?;
         let text_before = kernel.mem.text_checksum();
         let report = self
@@ -622,6 +658,14 @@ impl UpdateManager {
             .map_err(LifecycleError::Apply)?;
         self.states
             .insert(pack.id.clone(), UpdateState::Quarantined);
+        let watch_span = tracer.span_start(
+            Stage::Watch,
+            "watch",
+            vec![
+                ("id", pack.id.as_str().into()),
+                ("rounds", self.watch.rounds.into()),
+            ],
+        );
         tracer.emit(
             Stage::Watch,
             Severity::Info,
@@ -634,95 +678,103 @@ impl UpdateManager {
             ],
         );
         let oopses_before = kernel.oopses.len();
-        for round in 1..=self.watch.rounds {
-            kernel.run(self.watch.steps_per_round);
-            tracer.set_now(kernel.steps);
-            for pi in 0..probes.len() + 1 {
-                // After the caller's probes, one implicit check: any new
-                // oops during the window fails the round.
-                let (probe_name, outcome) = if pi < probes.len() {
-                    let probe = &mut probes[pi];
-                    (probe.name().to_string(), run_probe(kernel, probe))
-                } else if kernel.oopses.len() > oopses_before {
-                    let oops = &kernel.oopses[oopses_before];
-                    (
-                        "oops-monitor".to_string(),
-                        Err(format!(
-                            "kernel oops on thread {} at {:#x}: {}",
-                            oops.tid, oops.ip, oops.reason
-                        )),
-                    )
-                } else {
-                    continue;
-                };
+        // A labeled block so the failure paths fall out through the same
+        // span-closing tail as the commit path.
+        let watched: Result<(), LifecycleError> = 'watch: {
+            for round in 1..=self.watch.rounds {
+                kernel.run(self.watch.steps_per_round);
                 tracer.set_now(kernel.steps);
-                let Err(reason) = outcome else {
+                for pi in 0..probes.len() + 1 {
+                    // After the caller's probes, one implicit check: any new
+                    // oops during the window fails the round.
+                    let (probe_name, outcome) = if pi < probes.len() {
+                        let probe = &mut probes[pi];
+                        (probe.name().to_string(), run_probe(kernel, probe))
+                    } else if kernel.oopses.len() > oopses_before {
+                        let oops = &kernel.oopses[oopses_before];
+                        (
+                            "oops-monitor".to_string(),
+                            Err(format!(
+                                "kernel oops on thread {} at {:#x}: {}",
+                                oops.tid, oops.ip, oops.reason
+                            )),
+                        )
+                    } else {
+                        continue;
+                    };
+                    tracer.set_now(kernel.steps);
+                    let Err(reason) = outcome else {
+                        tracer.emit(
+                            Stage::Watch,
+                            Severity::Debug,
+                            "watch.probe_ok",
+                            vec![
+                                ("id", pack.id.as_str().into()),
+                                ("probe", probe_name.as_str().into()),
+                                ("round", round.into()),
+                            ],
+                        );
+                        continue;
+                    };
+                    tracer.count("watch.probes_failed", 1);
                     tracer.emit(
                         Stage::Watch,
-                        Severity::Debug,
-                        "watch.probe_ok",
+                        Severity::Warn,
+                        "watch.probe_failed",
+                        vec![
+                            ("id", pack.id.as_str().into()),
+                            ("probe", probe_name.as_str().into()),
+                            ("round", round.into()),
+                            ("msg", reason.as_str().into()),
+                        ],
+                    );
+                    tracer.count("watch.rollbacks_triggered", 1);
+                    tracer.emit(
+                        Stage::Watch,
+                        Severity::Warn,
+                        "watch.auto_rollback",
                         vec![
                             ("id", pack.id.as_str().into()),
                             ("probe", probe_name.as_str().into()),
                             ("round", round.into()),
                         ],
                     );
-                    continue;
-                };
-                tracer.count("watch.probe_failures", 1);
+                    let undo = match self.ks.undo_traced(kernel, &pack.id, opts, tracer) {
+                        Ok(undo) => undo,
+                        Err(e) => {
+                            tracer.set_now(kernel.steps);
+                            break 'watch Err(LifecycleError::RollbackFailed {
+                                id: pack.id.clone(),
+                                probe: probe_name,
+                                reason,
+                                undo: Box::new(e),
+                            });
+                        }
+                    };
+                    tracer.set_now(kernel.steps);
+                    verify_text_restored(kernel, tracer, Stage::Watch, text_before);
+                    self.states
+                        .insert(pack.id.clone(), UpdateState::RolledBack);
+                    break 'watch Err(LifecycleError::Quarantine {
+                        id: pack.id.clone(),
+                        probe: probe_name,
+                        round,
+                        reason,
+                        undo: Box::new(undo),
+                    });
+                }
                 tracer.emit(
                     Stage::Watch,
-                    Severity::Warn,
-                    "watch.probe_failed",
-                    vec![
-                        ("id", pack.id.as_str().into()),
-                        ("probe", probe_name.as_str().into()),
-                        ("round", round.into()),
-                        ("msg", reason.as_str().into()),
-                    ],
+                    Severity::Debug,
+                    "watch.round_ok",
+                    vec![("id", pack.id.as_str().into()), ("round", round.into())],
                 );
-                tracer.count("watch.auto_rollbacks", 1);
-                tracer.emit(
-                    Stage::Watch,
-                    Severity::Warn,
-                    "watch.auto_rollback",
-                    vec![
-                        ("id", pack.id.as_str().into()),
-                        ("probe", probe_name.as_str().into()),
-                        ("round", round.into()),
-                    ],
-                );
-                let undo = match self.ks.undo_traced(kernel, &pack.id, opts, tracer) {
-                    Ok(undo) => undo,
-                    Err(e) => {
-                        tracer.set_now(kernel.steps);
-                        return Err(LifecycleError::RollbackFailed {
-                            id: pack.id.clone(),
-                            probe: probe_name,
-                            reason,
-                            undo: Box::new(e),
-                        });
-                    }
-                };
-                tracer.set_now(kernel.steps);
-                verify_text_restored(kernel, tracer, Stage::Watch, text_before);
-                self.states
-                    .insert(pack.id.clone(), UpdateState::RolledBack);
-                return Err(LifecycleError::Quarantine {
-                    id: pack.id.clone(),
-                    probe: probe_name,
-                    round,
-                    reason,
-                    undo: Box::new(undo),
-                });
             }
-            tracer.emit(
-                Stage::Watch,
-                Severity::Debug,
-                "watch.round_ok",
-                vec![("id", pack.id.as_str().into()), ("round", round.into())],
-            );
-        }
+            Ok(())
+        };
+        tracer.set_now(kernel.steps);
+        tracer.span_end(watch_span);
+        watched?;
         self.states.insert(pack.id.clone(), UpdateState::Committed);
         tracer.count("watch.updates_committed", 1);
         tracer.emit(

@@ -7,6 +7,7 @@ pub mod driver;
 pub mod exploits;
 pub mod fuzz;
 pub mod lifecycle;
+pub mod profile;
 pub mod stats;
 pub mod stress;
 pub mod tree;
@@ -25,5 +26,9 @@ pub use fuzz::{
     FuzzContext, MutantRecord, MutatorStats, Outcome, RegressionCase, Workload,
 };
 pub use stats::{corpus_stats, figure3_buckets, symbol_stats, CorpusStats, SymbolStats};
+pub use profile::{
+    quiescence_correlation, run_profile, ProfileConfig, ProfilePhase, ProfileReport,
+    QuiesceCorrelation, TargetAborts, QUIESCE_TARGET_CVES,
+};
 pub use stress::{load_stress, run_stress, spawn_stress, STRESS_SRC};
 pub use tree::{base_tree, BASE_FILES};

@@ -130,6 +130,9 @@ pub struct Kernel {
     pub num_cpus: u32,
     /// Armed fault-injection state (inert by default; see [`FaultPlan`]).
     pub faults: FaultPlan,
+    /// The PC-sampling profiler, armed by [`Kernel::start_sampling`]
+    /// (inert — one branch per step — otherwise).
+    pub(crate) profiler: Option<crate::profiler::Profiler>,
 }
 
 impl Kernel {
@@ -169,6 +172,7 @@ impl Kernel {
             stop_machine_count: 0,
             num_cpus: 4,
             faults: FaultPlan::default(),
+            profiler: None,
         })
     }
 

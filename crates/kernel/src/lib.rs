@@ -43,6 +43,7 @@ mod kernel;
 mod loader;
 mod mem;
 mod native;
+mod profiler;
 mod vm;
 
 pub use differential::{
@@ -59,4 +60,8 @@ pub use loader::{
     apply_reloc_at, load_kernel_image, load_module, LinkError, LoadedModule, PendingReloc,
 };
 pub use mem::{MemFault, Memory, Perms, Region, KBASE, MEM_SIZE};
+pub use profiler::{
+    collapsed_stacks, hot_functions, quiescence_risk, FrameSym, HotFunc, Profiler, QuiesceRisk,
+    Residency, Sample,
+};
 pub use native::{native_addr, native_from_addr, Native, NATIVE_BASE, RETURN_SENTINEL};

@@ -21,16 +21,19 @@ impl Kernel {
     pub(crate) fn run_slice(&mut self, tid: u64, max_steps: u64) -> u64 {
         let mut used = 0;
         while used < max_steps {
-            match self.step(tid) {
-                Step::Continue => used += 1,
-                Step::Yielded => {
-                    used += 1;
-                    break;
+            let outcome = self.step(tid);
+            used += 1;
+            // PC sampler: one branch when disarmed; on the Nth step it
+            // records the running thread's stack (see `profiler`).
+            if self.profiler.is_some() {
+                let fire = self.profiler.as_mut().is_some_and(|p| p.tick());
+                if fire {
+                    self.record_sample(tid, self.steps + used);
                 }
-                Step::Stopped => {
-                    used += 1;
-                    break;
-                }
+            }
+            match outcome {
+                Step::Continue => {}
+                Step::Yielded | Step::Stopped => break,
             }
         }
         self.steps += used;

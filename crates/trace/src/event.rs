@@ -223,6 +223,18 @@ impl From<String> for Value {
     }
 }
 
+/// The JSONL wire-schema version stamped on every emitted event line as
+/// `"v"`. Version history:
+///
+/// * **1** (implicit — lines with no `v` key): seq/ts_steps/stage/
+///   severity/event/fields.
+/// * **2**: identical layout plus the explicit `v` key; span lifecycle
+///   events (`span.begin`/`span.end`) carry `span_id`/`parent_id`
+///   fields.
+///
+/// The reader accepts any version up to this one.
+pub const EVENT_SCHEMA_VERSION: u64 = 2;
+
 /// One structured trace record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -258,10 +270,10 @@ impl Event {
     }
 
     /// One JSON object, no trailing newline. Stable field order:
-    /// seq, ts_steps, stage, severity, event, fields.
+    /// v, seq, ts_steps, stage, severity, event, fields.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"seq\":{},\"ts_steps\":{},\"stage\":\"{}\",\"severity\":\"{}\",\"event\":{},\"fields\":{{",
+            "{{\"v\":{EVENT_SCHEMA_VERSION},\"seq\":{},\"ts_steps\":{},\"stage\":\"{}\",\"severity\":\"{}\",\"event\":{},\"fields\":{{",
             self.seq,
             self.ts_steps,
             self.stage.as_str(),
@@ -282,11 +294,20 @@ impl Event {
 
     /// Parses one line of [`Event::to_json`] output (the `ksplice report`
     /// reader). Tolerates unknown keys; requires stage/severity/event.
+    /// Lines without a `"v"` key are read as schema v1; versions newer
+    /// than [`EVENT_SCHEMA_VERSION`] are rejected.
     pub fn from_json(line: &str) -> Result<Event, String> {
         let JsonValue::Object(top) = parse_json_object(line)? else {
             return Err("event line is not a JSON object".to_string());
         };
         let get = |key: &str| top.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        if let Some(JsonValue::U64(v)) = get("v") {
+            if *v > EVENT_SCHEMA_VERSION {
+                return Err(format!(
+                    "event schema v{v} is newer than supported v{EVENT_SCHEMA_VERSION}"
+                ));
+            }
+        }
         let stage_str = match get("stage") {
             Some(JsonValue::Str(s)) => s.as_str(),
             _ => return Err("missing stage".to_string()),
@@ -314,7 +335,7 @@ impl Event {
                     JsonValue::I64(n) => Value::I64(*n),
                     JsonValue::Bool(b) => Value::Bool(*b),
                     JsonValue::Str(s) => Value::Str(s.clone()),
-                    JsonValue::Object(_) => continue,
+                    JsonValue::Object(_) | JsonValue::Array(_) => continue,
                 };
                 fields.push((k.clone(), value));
             }
@@ -381,6 +402,19 @@ mod tests {
         let e = sample();
         let parsed = Event::from_json(&e.to_json()).unwrap();
         assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn json_carries_schema_version() {
+        let line = sample().to_json();
+        assert!(line.starts_with("{\"v\":2,"), "{line}");
+        // A v1 line (no `v` key) still parses.
+        let v1 = "{\"seq\":1,\"ts_steps\":5,\"stage\":\"apply\",\"severity\":\"info\",\
+                  \"event\":\"x\",\"fields\":{}}";
+        assert_eq!(Event::from_json(v1).unwrap().name, "x");
+        // A future version is rejected loudly rather than misread.
+        let v9 = "{\"v\":9,\"stage\":\"apply\",\"severity\":\"info\",\"event\":\"x\"}";
+        assert!(Event::from_json(v9).unwrap_err().contains("schema"));
     }
 
     #[test]

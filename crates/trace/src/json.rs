@@ -40,10 +40,47 @@ pub enum JsonValue {
     Bool(bool),
     /// A string.
     Str(String),
-    /// Objects keep insertion order; arrays are represented as objects
-    /// with index keys would be overkill — the formats never nest arrays,
-    /// so arrays are rejected.
+    /// Objects keep insertion order.
     Object(Vec<(String, JsonValue)>),
+    /// Arrays (the Chrome-trace `traceEvents` list and histogram bucket
+    /// dumps use them).
+    Array(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an `Object`; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON object from a string (whole-input).
@@ -95,6 +132,7 @@ impl Parser<'_> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -140,6 +178,28 @@ impl Parser<'_> {
                     return Ok(JsonValue::Object(entries));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.at)),
             }
         }
     }
@@ -248,6 +308,20 @@ mod tests {
         assert!(parse_json_object("{\"a\":}").is_err());
         assert!(parse_json_object("{\"a\":1} trailing").is_err());
         assert!(parse_json_object("").is_err());
+    }
+
+    #[test]
+    fn parse_arrays() {
+        let v = parse_json_object("{\"a\":[1,\"x\",[2],{\"b\":3}],\"e\":[]}").unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_str(), Some("x"));
+        assert_eq!(a[2].as_array().unwrap()[0].as_u64(), Some(2));
+        assert_eq!(a[3].get("b").unwrap().as_u64(), Some(3));
+        assert!(v.get("e").unwrap().as_array().unwrap().is_empty());
+        assert!(parse_json_object("[1,2]").is_ok());
+        assert!(parse_json_object("[1,").is_err());
     }
 
     #[test]

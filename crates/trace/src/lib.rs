@@ -15,8 +15,12 @@
 //!   JSON object per line), [`HumanSink`] (severity-filtered
 //!   human-readable renderer).
 //! * [`Tracer`] — the bus the pipeline emits into, which also owns the
-//!   monotonic [`Counters`] and power-of-two step/duration
-//!   [`Histogram`]s that feed the `BENCH_*.json` perf trajectory.
+//!   labeled metrics [`Registry`] (monotonic counters, gauges, and
+//!   power-of-two [`Histogram`]s) that feeds the `BENCH_*.json` perf
+//!   trajectory, and the causal-[`Span`] stack that turns the update
+//!   lifecycle (preflight → apply attempts → watch → commit/rollback)
+//!   into a tree renderable as a Chrome trace
+//!   ([`chrome_trace_json`]).
 //!
 //! Every pipeline entry point (`differ`, `runpre`, `apply`, `create`,
 //! `stream`) has a `_traced` variant taking `&mut Tracer`; the untraced
@@ -28,14 +32,21 @@
 mod event;
 mod json;
 mod metrics;
+mod registry;
 mod sink;
+mod span;
 
-pub use event::{Event, Severity, Stage, Value};
-pub use json::{parse_json_object, JsonValue};
+pub use event::{Event, Severity, Stage, Value, EVENT_SCHEMA_VERSION};
+pub use json::{escape as json_escape, parse_json_object, JsonValue};
 pub use metrics::{Counters, Histogram};
+pub use registry::{
+    canonical_name, series_key, Registry, Snapshot, SnapshotDiff, COUNTER_RENAMES,
+};
 pub use sink::{HumanSink, JsonlSink, RingHandle, RingSink, Sink};
+pub use span::{chrome_trace_json, render_span_tree, Span, SpanId};
 
-/// The event bus: sinks plus pipeline-wide counters and histograms.
+/// The event bus: sinks plus the pipeline-wide metrics [`Registry`] and
+/// the causal-span stack.
 ///
 /// Single-threaded by design (the simulated kernel is too): emitters
 /// hold `&mut Tracer` for exactly the scope of a pipeline call.
@@ -47,8 +58,10 @@ pub struct Tracer {
     now_steps: u64,
     seq: u64,
     sinks: Vec<Box<dyn Sink>>,
-    counters: Counters,
-    histograms: std::collections::BTreeMap<String, Histogram>,
+    registry: Registry,
+    spans: Vec<Span>,
+    span_stack: Vec<u64>,
+    next_span_id: u64,
 }
 
 impl Tracer {
@@ -123,68 +136,198 @@ impl Tracer {
         }
     }
 
-    /// Adds `n` to a named monotonic counter.
+    /// Adds `n` to a named monotonic counter. Legacy counter names are
+    /// folded into their canonical `stage.noun_verb` spellings by the
+    /// registry (see [`COUNTER_RENAMES`]).
     pub fn count(&mut self, name: &str, n: u64) {
         if self.enabled {
-            self.counters.add(name, n);
+            self.registry.inc(name, n);
+        }
+    }
+
+    /// Adds `n` to a labeled counter series.
+    pub fn count_labeled(&mut self, name: &str, labels: &[(&str, &str)], n: u64) {
+        if self.enabled {
+            self.registry.inc_labeled(name, labels, n);
         }
     }
 
     /// Reads a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name)
+        self.registry.counter(name)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        if self.enabled {
+            self.registry.set_gauge(name, labels, value);
+        }
     }
 
     /// Records one observation into a named histogram (step durations,
     /// pause microseconds, byte counts — any u64 measure).
     pub fn observe(&mut self, name: &str, value: u64) {
-        if !self.enabled {
-            return;
+        if self.enabled {
+            self.registry.observe(name, value);
         }
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
     }
 
-    /// Merges another tracer's counters and histograms into this one —
-    /// how the parallel evaluation driver folds per-worker tracers back
-    /// into the caller's after `thread::scope` joins. Events are not
+    /// Records one observation into a labeled histogram series.
+    pub fn observe_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if self.enabled {
+            self.registry.observe_labeled(name, labels, value);
+        }
+    }
+
+    /// Merges another tracer's metrics registry into this one — how the
+    /// parallel evaluation driver folds per-worker tracers back into the
+    /// caller's after `thread::scope` joins. Events and spans are not
     /// transferred (workers attach their own sinks if they want them);
     /// the step clock advances to the furthest worker's reading.
     pub fn absorb(&mut self, other: &Tracer) {
         if !self.enabled {
             return;
         }
-        self.counters.absorb(&other.counters);
-        for (name, h) in &other.histograms {
-            self.histograms.entry(name.clone()).or_default().absorb(h);
-        }
+        self.registry.absorb(&other.registry);
         self.now_steps = self.now_steps.max(other.now_steps);
     }
 
-    /// The counter table.
+    /// The counter table (series key → value).
     pub fn counters(&self) -> &Counters {
-        &self.counters
+        self.registry.counters()
     }
 
     /// A named histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.registry.histogram(name)
     }
 
-    /// Renders every counter and histogram as one JSON object — the
-    /// payload of the `BENCH_*.json` metric dumps.
+    /// The full metrics registry (labeled series, gauges, exports).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every metric series, for
+    /// [`Snapshot::diff`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Opens a span: subsequent spans nest under it until it ends.
+    /// Emits a `span.begin` event (Debug) carrying `span_id`/`parent_id`
+    /// plus the given fields, so JSONL traces round-trip the tree.
+    pub fn span_start(
+        &mut self,
+        stage: Stage,
+        name: &str,
+        fields: Vec<(&str, Value)>,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        self.next_span_id += 1;
+        let id = self.next_span_id;
+        let parent = self.span_stack.last().copied().unwrap_or(0);
+        self.spans.push(Span {
+            id,
+            parent,
+            stage,
+            name: name.to_string(),
+            start_steps: self.now_steps,
+            end_steps: None,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        self.span_stack.push(id);
+        self.emit(
+            stage,
+            Severity::Debug,
+            "span.begin",
+            span::begin_fields(name, id, parent, fields),
+        );
+        SpanId(id)
+    }
+
+    /// Closes a span. Children left open inside it (an abort path that
+    /// early-returned past their `span_end`) are closed first, innermost
+    /// out. No-op for [`SpanId::NONE`] or an already-closed id.
+    pub fn span_end(&mut self, id: SpanId) {
+        if !self.enabled || id.is_none() {
+            return;
+        }
+        match self.span_stack.iter().rposition(|&s| s == id.0) {
+            Some(pos) => {
+                let popped: Vec<u64> = self.span_stack.drain(pos..).collect();
+                for sid in popped.into_iter().rev() {
+                    self.close_one_span(sid);
+                }
+            }
+            None => self.close_one_span(id.0),
+        }
+    }
+
+    fn close_one_span(&mut self, id: u64) {
+        let now = self.now_steps;
+        let Some(span) = self.spans.iter_mut().find(|s| s.id == id && s.end_steps.is_none())
+        else {
+            return;
+        };
+        span.end_steps = Some(now);
+        let (stage, name, parent, dur) =
+            (span.stage, span.name.clone(), span.parent, span.dur_steps());
+        self.emit(
+            stage,
+            Severity::Debug,
+            "span.end",
+            span::end_fields(&name, id, parent, dur),
+        );
+    }
+
+    /// Runs `f` inside a span, closing it on the way out.
+    pub fn in_span<R>(
+        &mut self,
+        stage: Stage,
+        name: &str,
+        fields: Vec<(&str, Value)>,
+        f: impl FnOnce(&mut Tracer) -> R,
+    ) -> R {
+        let id = self.span_start(stage, name, fields);
+        let r = f(self);
+        self.span_end(id);
+        r
+    }
+
+    /// The id of the innermost open span (0 when none).
+    pub fn current_span(&self) -> u64 {
+        self.span_stack.last().copied().unwrap_or(0)
+    }
+
+    /// Every span recorded by this tracer, in open order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Renders every counter, gauge and histogram as one JSON object —
+    /// the payload of the `BENCH_*.json` metric dumps.
     pub fn metrics_json(&self) -> String {
         let mut s = String::from("{\"counters\":{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        for (i, (k, v)) in self.registry.counters().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json::escape(k)));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.registry.gauges().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             s.push_str(&format!("{}:{v}", json::escape(k)));
         }
         s.push_str("},\"histograms\":{");
-        for (i, (k, h)) in self.histograms.iter().enumerate() {
+        for (i, (k, h)) in self.registry.histograms().enumerate() {
             if i > 0 {
                 s.push(',');
             }

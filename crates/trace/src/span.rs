@@ -1,0 +1,312 @@
+//! Causal spans: nested intervals over the step clock.
+//!
+//! A span wraps one pipeline phase (preflight → apply attempt →
+//! quarantine watch → commit/rollback) and records its parent, so the
+//! update lifecycle becomes a tree instead of a flat event list. Spans
+//! ride the ordinary event stream as `span.begin`/`span.end` events
+//! carrying `span_id`/`parent_id` fields — which means a JSONL trace
+//! file round-trips the whole tree, and `ksplice report --spans` /
+//! `--timeline` can rebuild it offline.
+
+use crate::event::{Event, Stage, Value};
+use crate::json;
+
+/// Identifies one span within a tracer. Id 0 is reserved for "no span"
+/// (the value returned by a disabled tracer, and the parent id of
+/// roots); ending it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span: parents of roots, and what disabled tracers hand
+    /// out.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the null span.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// This span's id (1-based, unique per tracer).
+    pub id: u64,
+    /// The enclosing span's id, 0 for roots.
+    pub parent: u64,
+    /// Pipeline stage the span belongs to.
+    pub stage: Stage,
+    /// Span name, e.g. `apply.attempt`.
+    pub name: String,
+    /// Step-clock reading when the span opened.
+    pub start_steps: u64,
+    /// Step-clock reading when the span closed (`None` while open).
+    pub end_steps: Option<u64>,
+    /// Fields captured at `span_start`.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// Steps elapsed inside the span (0 while still open).
+    pub fn dur_steps(&self) -> u64 {
+        self.end_steps
+            .map(|e| e.saturating_sub(self.start_steps))
+            .unwrap_or(0)
+    }
+}
+
+/// A span rebuilt from `span.begin`/`span.end` events (the offline view
+/// `report` works from).
+#[derive(Debug, Clone)]
+struct ReplaySpan {
+    id: u64,
+    parent: u64,
+    stage: Stage,
+    name: String,
+    start: u64,
+    end: Option<u64>,
+    args: Vec<(String, Value)>,
+}
+
+fn replay(events: &[Event]) -> Vec<ReplaySpan> {
+    let mut spans: Vec<ReplaySpan> = Vec::new();
+    let mut last_ts = 0;
+    for e in events {
+        last_ts = last_ts.max(e.ts_steps);
+        match e.name.as_str() {
+            "span.begin" => {
+                let id = e.u64_field("span_id").unwrap_or(0);
+                if id == 0 {
+                    continue;
+                }
+                spans.push(ReplaySpan {
+                    id,
+                    parent: e.u64_field("parent_id").unwrap_or(0),
+                    stage: e.stage,
+                    name: e
+                        .str_field("span")
+                        .unwrap_or("span")
+                        .to_string(),
+                    start: e.ts_steps,
+                    end: None,
+                    args: e
+                        .fields
+                        .iter()
+                        .filter(|(k, _)| !matches!(k.as_str(), "span" | "span_id" | "parent_id"))
+                        .cloned()
+                        .collect(),
+                });
+            }
+            "span.end" => {
+                let id = e.u64_field("span_id").unwrap_or(0);
+                if let Some(s) = spans.iter_mut().rev().find(|s| s.id == id) {
+                    s.end = Some(e.ts_steps);
+                }
+            }
+            _ => {}
+        }
+    }
+    // A crashed pipeline leaves spans open; close them at the last
+    // observed timestamp so durations stay meaningful.
+    for s in &mut spans {
+        if s.end.is_none() {
+            s.end = Some(last_ts.max(s.start));
+        }
+    }
+    spans
+}
+
+fn stage_tid(stage: Stage) -> usize {
+    Stage::ALL.iter().position(|s| *s == stage).unwrap_or(0)
+}
+
+/// Renders the events' span tree as an indented text outline — the
+/// `report --spans` view. Spans with no recorded parent are roots;
+/// children appear in begin order.
+pub fn render_span_tree(events: &[Event]) -> String {
+    let spans = replay(events);
+    if spans.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let mut out = String::new();
+    fn emit(out: &mut String, spans: &[ReplaySpan], parent: u64, depth: usize) {
+        for s in spans.iter().filter(|s| s.parent == parent) {
+            let end = s.end.unwrap_or(s.start);
+            let args: String = s
+                .args
+                .iter()
+                .map(|(k, v)| format!(" {k}={v}"))
+                .collect();
+            out.push_str(&format!(
+                "{:indent$}{} [{}] {}..{} (+{} steps){}\n",
+                "",
+                s.name,
+                s.stage,
+                s.start,
+                end,
+                end.saturating_sub(s.start),
+                args,
+                indent = depth * 2
+            ));
+            emit(out, spans, s.id, depth + 1);
+        }
+    }
+    emit(&mut out, &spans, 0, 0);
+    out
+}
+
+/// Converts the events into Chrome trace format (the JSON object
+/// Perfetto and `chrome://tracing` load): each span becomes a complete
+/// (`"ph":"X"`) event on its stage's track, each non-span event an
+/// instant (`"ph":"i"`). One step is rendered as one microsecond.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let spans = replay(events);
+    let mut entries: Vec<String> = Vec::new();
+    for s in &spans {
+        let mut args = format!("\"span_id\":{},\"parent_id\":{}", s.id, s.parent);
+        for (k, v) in &s.args {
+            let rendered = match v {
+                Value::Str(t) => json::escape(t),
+                other => other.to_string(),
+            };
+            args.push_str(&format!(",{}:{rendered}", json::escape(k)));
+        }
+        entries.push(format!(
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{args}}}}}",
+            json::escape(&s.name),
+            s.stage,
+            s.start,
+            s.end.unwrap_or(s.start).saturating_sub(s.start).max(1),
+            stage_tid(s.stage),
+        ));
+    }
+    for e in events {
+        if e.name == "span.begin" || e.name == "span.end" {
+            continue;
+        }
+        entries.push(format!(
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+            json::escape(&e.name),
+            e.stage,
+            e.ts_steps,
+            stage_tid(e.stage),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        entries.join(",")
+    )
+}
+
+/// The fields a `span.begin` event carries ahead of the caller's own.
+pub(crate) fn begin_fields<'a>(
+    name: &'a str,
+    id: u64,
+    parent: u64,
+    mut fields: Vec<(&'a str, Value)>,
+) -> Vec<(&'a str, Value)> {
+    let mut all = vec![
+        ("span", Value::Str(name.to_string())),
+        ("span_id", Value::U64(id)),
+        ("parent_id", Value::U64(parent)),
+    ];
+    all.append(&mut fields);
+    all
+}
+
+/// The fields a `span.end` event carries.
+pub(crate) fn end_fields(name: &str, id: u64, parent: u64, dur: u64) -> Vec<(&str, Value)> {
+    vec![
+        ("span", Value::Str(name.to_string())),
+        ("span_id", Value::U64(id)),
+        ("parent_id", Value::U64(parent)),
+        ("dur_steps", Value::U64(dur)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+    use crate::json::parse_json_object;
+    use crate::{RingSink, Tracer};
+
+    fn traced_tree() -> Vec<Event> {
+        let ring = RingSink::new(64);
+        let handle = ring.handle();
+        let mut t = Tracer::new().with_sink(Box::new(ring));
+        t.set_now(100);
+        let update = t.span_start(Stage::Apply, "update", vec![("cve", "X".into())]);
+        t.set_now(150);
+        let pre = t.span_start(Stage::Apply, "preflight", vec![]);
+        t.emit(Stage::Apply, Severity::Info, "preflight.checked", vec![]);
+        t.set_now(200);
+        t.span_end(pre);
+        let att = t.span_start(Stage::Apply, "apply.attempt", vec![("attempt", 1u64.into())]);
+        t.set_now(260);
+        t.span_end(att);
+        t.set_now(300);
+        t.span_end(update);
+        handle.events()
+    }
+
+    #[test]
+    fn spans_nest_and_close() {
+        let events = traced_tree();
+        let begins: Vec<&Event> = events.iter().filter(|e| e.name == "span.begin").collect();
+        assert_eq!(begins.len(), 3);
+        assert_eq!(begins[0].u64_field("parent_id"), Some(0));
+        assert_eq!(begins[1].u64_field("parent_id"), begins[0].u64_field("span_id"));
+        assert_eq!(begins[2].u64_field("parent_id"), begins[0].u64_field("span_id"));
+        let ends: Vec<&Event> = events.iter().filter(|e| e.name == "span.end").collect();
+        assert_eq!(ends.len(), 3);
+        assert_eq!(ends[0].u64_field("dur_steps"), Some(50));
+    }
+
+    #[test]
+    fn tree_renders_nested() {
+        let text = render_span_tree(&traced_tree());
+        assert!(text.contains("update [apply] 100..300 (+200 steps) cve=X"), "{text}");
+        assert!(text.contains("\n  preflight [apply] 150..200"), "{text}");
+        assert!(text.contains("\n  apply.attempt"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let json = chrome_trace_json(&traced_tree());
+        let v = parse_json_object(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 3 spans as X entries + 1 instant event.
+        assert_eq!(events.len(), 4);
+        let first = &events[0];
+        assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(first.get("ts").unwrap().as_u64(), Some(100));
+        assert_eq!(first.get("dur").unwrap().as_u64(), Some(200));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("i")));
+    }
+
+    #[test]
+    fn unclosed_spans_close_at_last_timestamp() {
+        let ring = RingSink::new(16);
+        let handle = ring.handle();
+        let mut t = Tracer::new().with_sink(Box::new(ring));
+        t.set_now(10);
+        let _open = t.span_start(Stage::Undo, "undo", vec![]);
+        t.set_now(90);
+        t.emit(Stage::Undo, Severity::Error, "undo.aborted", vec![]);
+        let text = render_span_tree(&handle.events());
+        assert!(text.contains("undo [undo] 10..90 (+80 steps)"), "{text}");
+    }
+
+    #[test]
+    fn disabled_tracer_hands_out_null_spans() {
+        let mut t = Tracer::disabled();
+        let id = t.span_start(Stage::Apply, "x", vec![]);
+        assert!(id.is_none());
+        t.span_end(id); // no-op, no panic
+        assert!(t.spans().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Schema-compatibility: a checked-in v1 trace (written before the
+//! `"v"` key existed) must replay cleanly through today's reader.
+
+use ksplice_trace::{Event, Severity, Stage};
+
+const V1_FIXTURE: &str = include_str!("fixtures/trace_v1.jsonl");
+
+#[test]
+fn v1_fixture_replays_without_error() {
+    let events: Vec<Event> = V1_FIXTURE
+        .lines()
+        .map(|l| Event::from_json(l).expect("v1 line parses"))
+        .collect();
+    assert_eq!(events.len(), 7);
+    // Spot checks: values survive, not just parse.
+    assert_eq!(events[0].stage, Stage::Create);
+    assert_eq!(events[0].str_field("cve"), Some("CVE-2008-0600"));
+    assert_eq!(events[2].severity, Severity::Warn);
+    assert_eq!(events[2].str_field("busy_fn"), Some("sys_open"));
+    assert_eq!(events[3].u64_field("pause_us"), Some(712));
+    assert_eq!(
+        events[5].str_field("probe"),
+        Some("oops \"quoted fn\" at 0xf0001a2b")
+    );
+    assert_eq!(events[6].field("restored").and_then(|v| v.as_bool()), Some(true));
+}
+
+#[test]
+fn v1_lines_reserialize_as_v2() {
+    for line in V1_FIXTURE.lines() {
+        let e = Event::from_json(line).unwrap();
+        let reserialized = e.to_json();
+        assert!(reserialized.starts_with("{\"v\":2,"), "{reserialized}");
+        // And the v2 form round-trips to the same event.
+        assert_eq!(Event::from_json(&reserialized).unwrap(), e);
+    }
+}
