@@ -43,6 +43,7 @@ mod disasm;
 mod encode;
 mod instr;
 mod nop;
+mod predecode;
 mod reg;
 
 pub use asmbuilder::{AsmError, Assembled, Assembler, Label, PatchPoint};
@@ -51,6 +52,7 @@ pub use decode::{decode, decode_all, decode_len, DecodeError};
 pub use disasm::{disassemble, disassemble_one};
 pub use instr::{BinOp, Cond, Instr};
 pub use nop::{nop_fill, nop_len_at, nop_run_len, MAX_NOP_LEN};
+pub use predecode::{ends_block, predecode_block};
 pub use reg::Reg;
 
 /// Width, in bytes, of a `rel32` PC-relative operand.

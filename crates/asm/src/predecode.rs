@@ -1,0 +1,104 @@
+//! Straight-line predecoding into basic blocks.
+//!
+//! The VM's decode-cached dispatcher (and any other consumer that
+//! wants to reason about code at basic-block granularity) needs one
+//! primitive: decode consecutive instructions starting at an address
+//! until the first instruction that can redirect control flow. The
+//! block is the natural caching unit — within it, execution is
+//! provably sequential, so a dispatcher only has to re-consult the
+//! instruction stream at block boundaries.
+
+use crate::decode::decode;
+use crate::instr::Instr;
+
+/// True when `instr` can end or redirect control flow. A predecoded
+/// basic block never extends past such an instruction.
+pub fn ends_block(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Jmp8(_)
+            | Instr::Jmp32(_)
+            | Instr::Jcc8(..)
+            | Instr::Jcc32(..)
+            | Instr::Call32(_)
+            | Instr::CallR(_)
+            | Instr::Ret
+            | Instr::Hlt
+            | Instr::Int(_)
+    )
+}
+
+/// Decodes one basic block from the front of `bytes`: consecutive
+/// instructions up to and including the first control transfer, the
+/// first undecodable byte, the end of `bytes`, or `max_instrs`
+/// instructions — whichever comes first. Returns the decoded
+/// `(instruction, encoded length)` pairs and the number of bytes
+/// consumed. An empty result means the very first instruction did not
+/// decode (the caller should fall back to its fault path).
+pub fn predecode_block(bytes: &[u8], max_instrs: usize) -> (Vec<(Instr, u8)>, usize) {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() && out.len() < max_instrs {
+        let Ok((instr, len)) = decode(&bytes[off..]) else {
+            break;
+        };
+        off += len;
+        out.push((instr, len as u8));
+        if ends_block(&instr) {
+            break;
+        }
+    }
+    (out, off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asmbuilder::Assembler;
+    use crate::reg::Reg;
+
+    #[test]
+    fn block_stops_at_control_transfer() {
+        let mut a = Assembler::new();
+        a.emit(Instr::MovRI32(Reg::R0, 1));
+        a.emit(Instr::MovRI32(Reg::R1, 2));
+        a.emit(Instr::Ret);
+        a.emit(Instr::MovRI32(Reg::R2, 3)); // unreachable tail, next block
+        let bytes = a.finish().unwrap().code;
+        let (block, consumed) = predecode_block(&bytes, usize::MAX);
+        assert_eq!(block.len(), 3);
+        assert!(matches!(block[2].0, Instr::Ret));
+        let total: usize = block.iter().map(|(_, l)| *l as usize).sum();
+        assert_eq!(consumed, total);
+        assert!(consumed < bytes.len());
+    }
+
+    #[test]
+    fn undecodable_byte_ends_block_early() {
+        let mut a = Assembler::new();
+        a.emit(Instr::MovRI32(Reg::R0, 1));
+        let mut bytes = a.finish().unwrap().code;
+        let good = bytes.len();
+        bytes.push(0xff); // not an opcode
+        let (block, consumed) = predecode_block(&bytes, usize::MAX);
+        assert_eq!(block.len(), 1);
+        assert_eq!(consumed, good);
+        // A block starting ON the bad byte is empty.
+        let (none, zero) = predecode_block(&bytes[good..], usize::MAX);
+        assert!(none.is_empty());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn max_instrs_caps_straight_line_runs() {
+        let mut a = Assembler::new();
+        for _ in 0..8 {
+            a.emit(Instr::Nop1);
+        }
+        a.emit(Instr::Ret);
+        let bytes = a.finish().unwrap().code;
+        let (block, consumed) = predecode_block(&bytes, 4);
+        assert_eq!(block.len(), 4);
+        assert_eq!(consumed, 4);
+    }
+}

@@ -704,6 +704,7 @@ impl Ksplice {
                 "apply.attempt",
                 vec![("attempt", attempt.into())],
             );
+            let evicted_before = kernel.vm_stats.blocks_evicted;
             let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
@@ -720,6 +721,10 @@ impl Ksplice {
                     saved.push(buf);
                     write_trampoline(k, site.site_addr, site.replacement_addr);
                 }
+                // The patched text is live the instant the machine
+                // resumes: flush stale decoded blocks while it is still
+                // stopped, as flush_icache_range would after a text poke.
+                k.flush_icache();
                 // Apply hooks run while the machine is stopped (§5.3).
                 for &h in hooks.of(HookKind::Apply) {
                     if let Err(detail) = call_hook(k, h) {
@@ -727,6 +732,7 @@ impl Ksplice {
                         for (site, orig) in sites.iter().zip(&saved) {
                             k.mem.poke(site.site_addr, orig).expect("mapped");
                         }
+                        k.flush_icache();
                         return Err(StopError::Hook(format!("apply hook: {detail}")));
                     }
                 }
@@ -766,6 +772,16 @@ impl Ksplice {
                         );
                     }
                     tracer.count("apply.trampolines_written", sites.len() as u64);
+                    tracer.count("vm.icache_flush", 1);
+                    tracer.emit(
+                        Stage::Apply,
+                        Severity::Debug,
+                        "vm.icache_flush",
+                        vec![
+                            ("sites", sites.len().into()),
+                            ("evicted", (kernel.vm_stats.blocks_evicted - evicted_before).into()),
+                        ],
+                    );
                     tracer.span_end(attempt_span);
                     break;
                 }
@@ -1031,11 +1047,15 @@ impl Ksplice {
                     tramps.push(buf);
                     k.mem.poke(site.site_addr, &site.saved).expect("mapped");
                 }
+                // The original text is live again: evict every decoded
+                // block that still routes through the trampolines.
+                k.flush_icache();
                 for &h in update.hooks.of(HookKind::Reverse) {
                     if let Err(detail) = call_hook(k, h) {
                         for (site, tramp) in update.sites.iter().zip(&tramps) {
                             k.mem.poke(site.site_addr, tramp).expect("mapped");
                         }
+                        k.flush_icache();
                         return Err(StopError::Hook(format!("reverse hook: {detail}")));
                     }
                 }
@@ -1072,6 +1092,13 @@ impl Ksplice {
                             ],
                         );
                     }
+                    tracer.count("vm.icache_flush", 1);
+                    tracer.emit(
+                        Stage::Undo,
+                        Severity::Debug,
+                        "vm.icache_flush",
+                        vec![("sites", update.sites.len().into())],
+                    );
                     tracer.span_end(attempt_span);
                     break;
                 }

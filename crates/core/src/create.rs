@@ -10,7 +10,7 @@
 //! semantics (and typically added custom hook code to migrate live
 //! instances, §5.3).
 
-use ksplice_lang::{build_tree_cached, BuildCache, Options, SourceTree};
+use ksplice_lang::{build_tree_cached, build_tree_image_cached, BuildCache, Options, SourceTree};
 use ksplice_patch::Patch;
 use ksplice_trace::{Severity, Stage, Tracer};
 
@@ -184,7 +184,10 @@ fn create_inner(
     };
     let build_opts = opts.build_options.clone().unwrap_or_else(Options::pre_post);
 
-    let (pre, pre_stats) = match build_tree_cached(source, &build_opts, cache) {
+    // The pre tree is typically rebuilt verbatim for every update
+    // packaged against it — the whole-image memo collapses that to one
+    // lookup once the first build has run.
+    let (pre, pre_stats) = match build_tree_image_cached(source, &build_opts, cache) {
         Ok(built) => built,
         Err(error) => {
             return Err(fail(

@@ -1056,11 +1056,15 @@ impl Ksplice {
                         None => k.mem.poke(site.site_addr, &site.saved).expect("mapped"),
                     }
                 }
+                // Repointed chains are live on resume: drop any decoded
+                // block still caching the old routing.
+                k.flush_icache();
                 for &h in update.hooks.of(HookKind::Reverse) {
                     if let Err(detail) = call_hook(k, h) {
                         for (site, buf) in update.sites.iter().zip(&prev) {
                             k.mem.poke(site.site_addr, buf).expect("mapped");
                         }
+                        k.flush_icache();
                         return Err(StopError::Hook(format!("reverse hook: {detail}")));
                     }
                 }
@@ -1086,6 +1090,7 @@ impl Ksplice {
                             ("pause_us", pause_us.into()),
                         ],
                     );
+                    tracer.count("vm.icache_flush", 1);
                     break;
                 }
                 Err(e) => {

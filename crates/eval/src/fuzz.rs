@@ -279,6 +279,12 @@ pub struct CampaignReport {
     pub exemplars: Vec<RegressionCase>,
     /// Host panics caught (must be zero).
     pub panics: usize,
+    /// FNV-1a fingerprint over every mutant record in index order
+    /// (index, unit, class, detail, mutation list). Independent of
+    /// `--jobs` by construction — records are hashed in campaign
+    /// order, not completion order — so any change to this value
+    /// means the oracle's verdicts themselves changed.
+    pub digest: u64,
 }
 
 impl CampaignReport {
@@ -295,6 +301,7 @@ impl CampaignReport {
             "ksplice-fuzz: {} mutants, seed {}, workload {}",
             self.mutants, self.seed, self.workload
         );
+        let _ = writeln!(out, "digest: {:#018x}", self.digest);
         let _ = writeln!(out, "\noutcomes:");
         for (class, n) in &self.by_class {
             let _ = writeln!(out, "  {class:<28} {n}");
@@ -634,7 +641,6 @@ impl FuzzContext {
                 }
             }
         };
-
         // Stage 2: two reference kernels, cold-booted from post source
         // with *different compiler versions*. Ksplice only promises the
         // hot-patched kernel matches a cold boot up to the freedoms the
@@ -724,7 +730,6 @@ impl FuzzContext {
             };
             stress_entries = Some((re, ce, se));
         }
-
         let text_before = subject.mem.text_checksum();
         let mut ks = Ksplice::new();
         if let Err(e) = ks.apply_traced(&mut subject, &pack, &self.apply_opts, tracer) {
@@ -733,55 +738,9 @@ impl FuzzContext {
                 detail: e.to_string(),
             };
         }
-
         // Stage 4: identical workloads on all three kernels, lockstep
         // comparison of the entries the two references agree on.
-        let mut ref_trace = Vec::new();
-        let mut calib_trace = Vec::new();
-        let mut subj_trace = Vec::new();
-        if self.workload.includes_syscalls() {
-            for (name, args) in &self.sweep {
-                ref_trace.push(traced_call(&mut reference, name, args, self.call_limit));
-                calib_trace.push(traced_call(&mut calib, name, args, self.call_limit));
-                subj_trace.push(traced_call(&mut subject, name, args, self.call_limit));
-            }
-            // Targeted probes: the mutated unit's own exported functions,
-            // with two argument patterns each. Derived from the canonical
-            // unit so every kernel defines every probed symbol.
-            if let Some(base) = self.unit(unit_path) {
-                for f in base.functions() {
-                    if f.is_static
-                        || f.params.len() > 3
-                        || !f.params.iter().all(|(_, ty)| matches!(ty, Type::Int))
-                    {
-                        continue;
-                    }
-                    for pattern in [[2u64, 3, 5], [7, 1, 4]] {
-                        let args = &pattern[..f.params.len()];
-                        ref_trace.push(traced_call(&mut reference, &f.name, args, self.call_limit));
-                        calib_trace.push(traced_call(&mut calib, &f.name, args, self.call_limit));
-                        subj_trace.push(traced_call(&mut subject, &f.name, args, self.call_limit));
-                    }
-                }
-            }
-        }
-        if let Some((re, ce, se)) = stress_entries {
-            ref_trace.push(normalize_call(reference.call_at_limited(
-                re,
-                &[STRESS_ROUNDS],
-                STRESS_LIMIT,
-            )));
-            calib_trace.push(normalize_call(calib.call_at_limited(
-                ce,
-                &[STRESS_ROUNDS],
-                STRESS_LIMIT,
-            )));
-            subj_trace.push(normalize_call(subject.call_at_limited(
-                se,
-                &[STRESS_ROUNDS],
-                STRESS_LIMIT,
-            )));
-        }
+        //
         // UB taint: the oracle only speaks about *defined* behavior. An
         // entry is tainted when (a) any kernel hit its step budget — the
         // execution was cut off mid-flight, and where exactly the budget
@@ -793,17 +752,107 @@ impl FuzzContext {
         // (a wild pointer landed in a region that happens to differ
         // between layouts). Once any entry is tainted, downstream kernel
         // *state* has legitimately diverged, so only the trace prefix
-        // before the first taint is comparable.
-        let first_taint = (0..ref_trace.len()).find_map(|i| {
-            let (r, c, s) = (&ref_trace[i], &calib_trace[i], &subj_trace[i]);
-            if [r, c, s].iter().any(|e| matches!(e, TraceEntry::StepLimit)) {
-                return Some((i, "truncated"));
+        // before the first taint is comparable — which also means the
+        // sweep can stop issuing calls the moment an entry taints (and a
+        // budget-blown reference call need not even run on the other two
+        // kernels): nothing at or after the taint index is ever read.
+        // The full call plan, in lockstep order. Targeted probes: the
+        // mutated unit's own exported functions, with two argument
+        // patterns each. Derived from the canonical unit so every
+        // kernel defines every probed symbol.
+        let mut plan: Vec<(&str, Vec<u64>)> = Vec::new();
+        if self.workload.includes_syscalls() {
+            for (name, args) in &self.sweep {
+                plan.push((name, args.clone()));
             }
-            if r != c || (r != s && (is_memory_oops(r) || is_memory_oops(c) || is_memory_oops(s))) {
-                return Some((i, "wild-memory"));
+            if let Some(base) = self.unit(unit_path) {
+                for f in base.functions() {
+                    if f.is_static
+                        || f.params.len() > 3
+                        || !f.params.iter().all(|(_, ty)| matches!(ty, Type::Int))
+                    {
+                        continue;
+                    }
+                    for pattern in [[2u64, 3, 5], [7, 1, 4]] {
+                        plan.push((&f.name, pattern[..f.params.len()].to_vec()));
+                    }
+                }
             }
-            None
-        });
+        }
+        let mut ref_trace = Vec::new();
+        let mut calib_trace = Vec::new();
+        let mut subj_trace = Vec::new();
+        let mut first_taint: Option<(usize, &'static str)> = None;
+        let hit = |e: &TraceEntry| matches!(e, TraceEntry::StepLimit);
+        for (i, (name, args)) in plan.iter().enumerate() {
+            // Once an entry taints, nothing at or after it is ever
+            // compared, so the two reference kernels stop running — only
+            // the subject finishes the plan, because its step clock
+            // stamps later trace events and must read exactly as if the
+            // whole lockstep sweep had run.
+            if first_taint.is_some() {
+                let _ = traced_call(&mut subject, name, args, self.call_limit);
+                continue;
+            }
+            let r = traced_call(&mut reference, name, args, self.call_limit);
+            if hit(&r) {
+                first_taint = Some((i, "truncated"));
+                let _ = traced_call(&mut subject, name, args, self.call_limit);
+                continue;
+            }
+            let c = traced_call(&mut calib, name, args, self.call_limit);
+            if hit(&c) {
+                first_taint = Some((i, "truncated"));
+                let _ = traced_call(&mut subject, name, args, self.call_limit);
+                continue;
+            }
+            let s = traced_call(&mut subject, name, args, self.call_limit);
+            if hit(&s) {
+                first_taint = Some((i, "truncated"));
+            } else if r != c
+                || (r != s && (is_memory_oops(&r) || is_memory_oops(&c) || is_memory_oops(&s)))
+            {
+                first_taint = Some((i, "wild-memory"));
+            }
+            ref_trace.push(r);
+            calib_trace.push(c);
+            subj_trace.push(s);
+        }
+        if let Some((re, ce, se)) = stress_entries {
+            if first_taint.is_some() {
+                let _ = subject.call_at_limited(se, &[STRESS_ROUNDS], STRESS_LIMIT);
+            } else {
+                let i = ref_trace.len();
+                let r = normalize_call(reference.call_at_limited(re, &[STRESS_ROUNDS], STRESS_LIMIT));
+                if hit(&r) {
+                    first_taint = Some((i, "truncated"));
+                    let _ = subject.call_at_limited(se, &[STRESS_ROUNDS], STRESS_LIMIT);
+                } else {
+                    let c = normalize_call(calib.call_at_limited(ce, &[STRESS_ROUNDS], STRESS_LIMIT));
+                    if hit(&c) {
+                        first_taint = Some((i, "truncated"));
+                        let _ = subject.call_at_limited(se, &[STRESS_ROUNDS], STRESS_LIMIT);
+                    } else {
+                        let s = normalize_call(subject.call_at_limited(
+                            se,
+                            &[STRESS_ROUNDS],
+                            STRESS_LIMIT,
+                        ));
+                        if hit(&s) {
+                            first_taint = Some((i, "truncated"));
+                        } else if r != c
+                            || (r != s
+                                && (is_memory_oops(&r) || is_memory_oops(&c) || is_memory_oops(&s)))
+                        {
+                            first_taint = Some((i, "wild-memory"));
+                        }
+                        ref_trace.push(r);
+                        calib_trace.push(c);
+                        subj_trace.push(s);
+                    }
+                }
+            }
+        }
         let prefix = first_taint.map_or(ref_trace.len(), |(i, _)| i);
         if let Some((i, r, s)) = diff_traces(&ref_trace[..prefix], &subj_trace[..prefix]) {
             return Outcome::Diverged {
@@ -889,7 +938,6 @@ impl FuzzContext {
                 detail: "text checksum after undo differs from pre-apply".into(),
             };
         }
-
         Outcome::Survived
     }
 
@@ -1054,6 +1102,26 @@ pub fn run_campaign(cfg: &FuzzConfig, tracer: &mut Tracer) -> Result<CampaignRep
         }
     }
 
+    // Hash the records in campaign (index) order before tallying, so
+    // the fingerprint is identical no matter how many workers ran.
+    fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for record in records.iter().flatten() {
+        digest = fnv1a(digest, &record.index.to_le_bytes());
+        digest = fnv1a(digest, record.unit.as_bytes());
+        digest = fnv1a(digest, record.class.as_bytes());
+        digest = fnv1a(digest, record.detail.as_bytes());
+        for m in &record.mutations {
+            digest = fnv1a(digest, m.to_string().as_bytes());
+        }
+    }
+
     let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
     let mut by_mutator: BTreeMap<&'static str, MutatorStats> = BTreeMap::new();
     let mut failures = Vec::new();
@@ -1138,6 +1206,7 @@ pub fn run_campaign(cfg: &FuzzConfig, tracer: &mut Tracer) -> Result<CampaignRep
         failures,
         exemplars,
         panics,
+        digest,
     };
     tracer.emit(
         Stage::Fuzz,

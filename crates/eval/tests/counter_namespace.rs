@@ -31,6 +31,12 @@ const KNOWN_COUNTERS: &[&str] = &[
     "bench.fuzz_parallel_ms",
     "bench.fuzz_serial_ms",
     "bench.profile_ms",
+    "bench.vm_block_hit_permille",
+    "bench.vm_blocks_decoded",
+    "bench.vm_blocks_evicted",
+    "bench.vm_icache_flushes",
+    "bench.vm_steps_measured",
+    "bench.vm_steps_per_sec",
     "build.cache_evictions",
     "build.cache_hits",
     "build.cache_misses",
@@ -58,12 +64,13 @@ const KNOWN_COUNTERS: &[&str] = &[
     "watch.probes_failed",
     "watch.rollbacks_triggered",
     "watch.updates_committed",
+    "vm.icache_flush",
 ];
 
 /// Stage prefixes a counter may start with.
 const STAGE_PREFIXES: &[&str] = &[
     "create", "differ", "runpre", "apply", "watch", "undo", "stream", "build", "eval", "fuzz",
-    "bench", "profile",
+    "bench", "profile", "vm",
 ];
 
 /// `stage.noun_verb` — lowercase segments, an underscore in the tail,

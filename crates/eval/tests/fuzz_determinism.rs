@@ -1,0 +1,51 @@
+//! Job-count and dispatcher determinism for the differential fuzzer.
+//!
+//! The 200-mutant fixed-seed campaign is the repo's canonical fuzz
+//! artifact: its rendered report (verdict lines, class histogram, FNV
+//! digest) must be byte-identical whether the campaign runs on one
+//! worker or many, and must match `OLD_INTERPRETER_DIGEST` — the digest
+//! recorded from the decode-per-step interpreter before the block-cache
+//! dispatcher landed. A digest drift here means the cached VM changed
+//! an architectural outcome (step counts, oops text, taint verdicts),
+//! not just its speed.
+
+use ksplice_core::Tracer;
+use ksplice_eval::{run_campaign, FuzzConfig, Workload};
+
+/// FNV-1a digest of the canonical campaign (seed 1, 200 mutants, both
+/// workloads) recorded under the pre-block-cache interpreter.
+const OLD_INTERPRETER_DIGEST: u64 = 0x4ec6378fa763158d;
+
+fn canonical_config(jobs: usize) -> FuzzConfig {
+    FuzzConfig {
+        seed: 1,
+        mutants: 200,
+        jobs,
+        workload: Workload::Both,
+        ..FuzzConfig::default()
+    }
+}
+
+#[test]
+fn campaign_is_job_count_invariant_and_matches_old_interpreter() {
+    let serial = run_campaign(&canonical_config(1), &mut Tracer::disabled())
+        .expect("serial campaign");
+    let parallel = run_campaign(&canonical_config(8), &mut Tracer::disabled())
+        .expect("parallel campaign");
+
+    // Byte-identical reports across job counts, not merely equal
+    // histograms: ordering, details and digest all must agree.
+    assert_eq!(
+        serial.render(),
+        parallel.render(),
+        "campaign report differs between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(serial.digest, parallel.digest);
+
+    // And identical to what the decode-per-step interpreter produced.
+    assert_eq!(
+        serial.digest, OLD_INTERPRETER_DIGEST,
+        "block-cache dispatcher changed an architectural outcome:\n{}",
+        serial.render()
+    );
+}

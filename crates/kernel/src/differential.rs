@@ -218,6 +218,9 @@ pub fn diff_images(reference: &Kernel, subject: &Kernel, opts: &DiffOptions) -> 
             continue;
         };
         report.regions_compared += 1;
+        if a == b {
+            continue;
+        }
         let mut region_deltas = 0usize;
         for (i, (ca, cb)) in a.chunks(8).zip(b.chunks(8)).enumerate() {
             if ca == cb {

@@ -133,6 +133,15 @@ pub struct Kernel {
     /// The PC-sampling profiler, armed by [`Kernel::start_sampling`]
     /// (inert — one branch per step — otherwise).
     pub(crate) profiler: Option<crate::profiler::Profiler>,
+    /// Predecoded basic blocks keyed by entry address — the VM's
+    /// icache (see `vm.rs`).
+    pub(crate) block_cache: crate::vm::AddrMap<crate::vm::CachedBlock>,
+    /// `mem.text_generation()` as of the last icache sweep; a
+    /// difference means stale blocks may be cached.
+    pub(crate) icache_clock: u64,
+    /// Counters for the decode-cached dispatcher: hits, decodes,
+    /// flush sweeps, evictions.
+    pub vm_stats: crate::vm::VmStats,
 }
 
 impl Kernel {
@@ -153,6 +162,9 @@ impl Kernel {
             .alloc_region("kheap", 8 * 1024 * 1024, 16, Perms::DATA)
             .ok_or(BootError::NoMemory)?;
         let syscall_entry = syms.lookup_global("do_syscall").map(|s| s.addr);
+        // The icache starts clean: in sync with the arena's text clock
+        // (image loading bumped it; there are no cached blocks yet).
+        let mem_text_gen = mem.text_generation();
         Ok(Kernel {
             mem,
             syms,
@@ -173,6 +185,9 @@ impl Kernel {
             num_cpus: 4,
             faults: FaultPlan::default(),
             profiler: None,
+            block_cache: crate::vm::AddrMap::default(),
+            icache_clock: mem_text_gen,
+            vm_stats: crate::vm::VmStats::default(),
         })
     }
 

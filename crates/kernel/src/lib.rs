@@ -65,3 +65,4 @@ pub use profiler::{
     Residency, Sample,
 };
 pub use native::{native_addr, native_from_addr, Native, NATIVE_BASE, RETURN_SENTINEL};
+pub use vm::VmStats;

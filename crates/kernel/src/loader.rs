@@ -143,21 +143,48 @@ fn place_object(
     obj: &Object,
 ) -> Result<(PlacedSections, PlacedSymbols), LinkError> {
     let mut sections = BTreeMap::new();
-    for sec in &obj.sections {
-        if !sec.is_alloc() || sec.kind == SectionKind::Note {
-            continue;
-        }
-        let region_name = format!("{}:{}", obj.name, sec.name);
-        let addr = mem
-            .alloc_region(
-                &region_name,
+    // One batched arena reservation for the whole object: same
+    // addresses as allocating section by section (the batch API runs
+    // the same bump cursor), but the region table grows once and an
+    // object that cannot fit is rejected before any region lands.
+    let alloc: Vec<&ksplice_object::Section> = obj
+        .sections
+        .iter()
+        .filter(|sec| sec.is_alloc() && sec.kind != SectionKind::Note)
+        .collect();
+    let names: Vec<String> = alloc
+        .iter()
+        .map(|sec| format!("{}:{}", obj.name, sec.name))
+        .collect();
+    let specs: Vec<(&str, u64, u64, Perms)> = alloc
+        .iter()
+        .zip(&names)
+        .map(|(sec, name)| {
+            (
+                name.as_str(),
                 sec.size.max(1),
                 sec.align.max(1) as u64,
                 perms_for(sec),
             )
-            .ok_or(LinkError::OutOfMemory {
-                section: region_name.clone(),
-            })?;
+        })
+        .collect();
+    let starts = mem.alloc_regions(&specs).ok_or_else(|| {
+        // Replay the cursor one section at a time to name the one that
+        // overflowed (and to leave the arena exactly as the historical
+        // per-section allocator would have).
+        for (sec, name) in alloc.iter().zip(&names) {
+            if mem
+                .alloc_region(name, sec.size.max(1), sec.align.max(1) as u64, perms_for(sec))
+                .is_none()
+            {
+                return LinkError::OutOfMemory {
+                    section: name.clone(),
+                };
+            }
+        }
+        unreachable!("batched allocation failed but sections fit individually")
+    })?;
+    for (sec, &addr) in alloc.iter().zip(&starts) {
         if sec.kind == SectionKind::Progbits && !sec.data.is_empty() {
             mem.poke(addr, &sec.data)?;
         }

@@ -123,6 +123,22 @@ pub struct Memory {
     regions: Vec<Region>,
     /// Bump cursor for region allocation.
     cursor: u64,
+    /// Global text-write clock: advances whenever the bytes (or the
+    /// mapping) of any executable region change. The VM compares this
+    /// against its own icache clock to learn that a flush sweep is due.
+    text_gen: u64,
+    /// Per-executable-region write generations, keyed by region start
+    /// (the bump cursor never reuses addresses, so starts are unique
+    /// for the arena's lifetime). An entry disappears when its region
+    /// is unmapped, which evicts every cached block decoded from it.
+    gens: std::collections::HashMap<u64, u64>,
+    /// Index of the region the last lookup landed in. Accesses cluster
+    /// heavily (a thread's loads and stores hit its own stack), so this
+    /// single-entry cache short-circuits the binary search most of the
+    /// time. Correctness does not depend on it: a stale index either
+    /// still contains the address (regions never overlap, so it is THE
+    /// answer) or fails the containment check and we fall through.
+    last_hit: std::cell::Cell<usize>,
 }
 
 impl Default for Memory {
@@ -138,7 +154,29 @@ impl Memory {
             bytes: vec![0u8; MEM_SIZE as usize],
             regions: Vec::new(),
             cursor: KBASE,
+            text_gen: 0,
+            gens: std::collections::HashMap::new(),
+            last_hit: std::cell::Cell::new(usize::MAX),
         }
+    }
+
+    /// The global text-write clock. Any difference from a previously
+    /// observed value means some executable region's bytes, or the set
+    /// of executable regions itself, changed in between.
+    pub fn text_generation(&self) -> u64 {
+        self.text_gen
+    }
+
+    /// The write generation of the executable region starting at
+    /// `start`, or `None` if no such region is mapped (any more).
+    pub fn region_generation(&self, start: u64) -> Option<u64> {
+        self.gens.get(&start).copied()
+    }
+
+    /// Records a write into the executable region starting at `start`.
+    fn bump_text(&mut self, start: u64) {
+        self.text_gen += 1;
+        *self.gens.entry(start).or_insert(0) += 1;
     }
 
     /// Allocates a fresh region, returning its start address.
@@ -153,6 +191,9 @@ impl Memory {
             return None;
         }
         self.cursor = end;
+        if perms.exec {
+            self.gens.insert(start, 0);
+        }
         self.regions.push(Region {
             name: name.to_string(),
             start,
@@ -160,6 +201,33 @@ impl Memory {
             perms,
         });
         Some(start)
+    }
+
+    /// Allocates several regions in one call, exactly as the same
+    /// sequence of [`Memory::alloc_region`] calls would (identical
+    /// addresses, order and names) but all-or-nothing: when any region
+    /// would not fit, nothing is allocated. The region table grows
+    /// once instead of per section, which is what the loader wants
+    /// when placing a multi-section object.
+    pub fn alloc_regions(&mut self, specs: &[(&str, u64, u64, Perms)]) -> Option<Vec<u64>> {
+        // Dry-run the bump cursor to prove everything fits.
+        let mut cursor = self.cursor;
+        for &(_, size, align, _) in specs {
+            let align = align.max(1);
+            debug_assert!(align.is_power_of_two());
+            let start = cursor.div_ceil(align) * align;
+            let end = start.checked_add(size)?;
+            if end > KBASE + MEM_SIZE {
+                return None;
+            }
+            cursor = end;
+        }
+        self.regions.reserve(specs.len());
+        let mut starts = Vec::with_capacity(specs.len());
+        for &(name, size, align, perms) in specs {
+            starts.push(self.alloc_region(name, size, align, perms).expect("dry run fit"));
+        }
+        Some(starts)
     }
 
     /// The region containing `addr..addr+len`, if any.
@@ -170,9 +238,19 @@ impl Memory {
     /// This is the single hottest lookup in the simulator (every VM
     /// fetch, load and store lands here).
     pub fn region_at(&self, addr: u64, len: u64) -> Option<&Region> {
+        if let Some(r) = self.regions.get(self.last_hit.get()) {
+            if r.contains(addr, len) {
+                return Some(r);
+            }
+        }
         let i = self.regions.partition_point(|r| r.start <= addr);
         let r = self.regions[..i].last()?;
-        r.contains(addr, len).then_some(r)
+        if r.contains(addr, len) {
+            self.last_hit.set(i - 1);
+            Some(r)
+        } else {
+            None
+        }
     }
 
     /// All regions, in allocation order.
@@ -185,20 +263,43 @@ impl Memory {
     /// is a bump allocator) but all further access faults — module
     /// unloading semantics.
     pub fn unmap_prefix(&mut self, prefix: &str) -> usize {
+        let dead_text: Vec<u64> = self
+            .regions
+            .iter()
+            .filter(|r| r.perms.exec && r.name.starts_with(prefix))
+            .map(|r| r.start)
+            .collect();
         let before = self.regions.len();
         self.regions.retain(|r| !r.name.starts_with(prefix));
+        // Unloading module text retires its generation entry, so any
+        // decoded block from it can never validate again.
+        if !dead_text.is_empty() {
+            for start in &dead_text {
+                self.gens.remove(start);
+            }
+            self.text_gen += 1;
+        }
         before - self.regions.len()
     }
 
     /// Changes the permissions of the region starting exactly at `start`.
     pub fn set_region_perms(&mut self, start: u64, perms: Perms) -> bool {
+        let mut toggled_exec = false;
+        let mut found = false;
         for r in &mut self.regions {
             if r.start == start {
+                toggled_exec = r.perms.exec || perms.exec;
                 r.perms = perms;
-                return true;
+                found = true;
+                break;
             }
         }
-        false
+        if found && toggled_exec {
+            // Entering or leaving executability invalidates any cached
+            // decoding of the region either way.
+            self.bump_text(start);
+        }
+        found
     }
 
     fn index(&self, addr: u64, len: u64) -> Result<usize, MemFault> {
@@ -223,14 +324,22 @@ impl Memory {
     /// Checked store for the VM: requires a writable region.
     pub fn store(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         let len = data.len() as u64;
-        let region = self
-            .region_at(addr, len)
-            .ok_or(MemFault::Unmapped { addr, len })?;
-        if !region.perms.write {
-            return Err(MemFault::ReadOnly { addr });
-        }
+        let (exec, start) = {
+            let region = self
+                .region_at(addr, len)
+                .ok_or(MemFault::Unmapped { addr, len })?;
+            if !region.perms.write {
+                return Err(MemFault::ReadOnly { addr });
+            }
+            (region.perms.exec, region.start)
+        };
         let i = self.index(addr, len)?;
         self.bytes[i..i + data.len()].copy_from_slice(data);
+        if exec {
+            // Self-modifying code through a writable+executable region:
+            // the icache analogue must notice.
+            self.bump_text(start);
+        }
         Ok(())
     }
 
@@ -260,10 +369,20 @@ impl Memory {
     /// be mapped.
     pub fn poke(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         let len = data.len() as u64;
-        self.region_at(addr, len)
-            .ok_or(MemFault::Unmapped { addr, len })?;
+        let (exec, start) = {
+            let region = self
+                .region_at(addr, len)
+                .ok_or(MemFault::Unmapped { addr, len })?;
+            (region.perms.exec, region.start)
+        };
         let i = self.index(addr, len)?;
         self.bytes[i..i + data.len()].copy_from_slice(data);
+        if exec {
+            // A trampoline (or fault-injected corruption) just landed
+            // in text: advance the write generation so cached decoded
+            // blocks covering this region are evicted.
+            self.bump_text(start);
+        }
         Ok(())
     }
 

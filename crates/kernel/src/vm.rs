@@ -1,6 +1,22 @@
 //! The K64 virtual machine: instruction execution for kernel threads.
+//!
+//! Dispatch is *decode-cached*: executable text is predecoded into
+//! basic blocks (ending at any control transfer) held in a side table
+//! keyed by entry address — the VM's icache. Within a block, execution
+//! is sequential by construction, so the hot loop runs decoded
+//! instructions straight out of the cache and only consults memory
+//! again at block boundaries. Any write into an executable region
+//! advances that region's generation counter ([`crate::mem::Memory`]),
+//! and the dispatcher sweeps stale blocks before the next dispatch —
+//! the moral equivalent of `flush_icache_range` after a kernel text
+//! patch. Step accounting and the PC sampler remain per-instruction
+//! exact: every architectural effect, oops message, profiler tick and
+//! step count is byte-identical to the historical decode-per-step
+//! interpreter.
 
-use ksplice_asm::{decode, BinOp, Instr, Reg};
+use std::sync::Arc;
+
+use ksplice_asm::{decode, predecode_block, BinOp, Instr};
 
 use crate::kernel::{Kernel, Oops, ThreadState};
 use crate::native::{native_from_addr, NativeOutcome, NATIVE_BASE, RETURN_SENTINEL};
@@ -15,29 +31,195 @@ enum Step {
     Stopped,
 }
 
+/// Longest straight-line run predecoded into one block. Purely a
+/// memory bound — a longer run simply continues in the next block.
+const MAX_BLOCK_INSTRS: usize = 1024;
+
+/// One predecoded basic block in the VM's icache.
+pub(crate) struct CachedBlock {
+    /// Decoded instructions with their encoded lengths. Shared so the
+    /// dispatcher can hold a block across steps while the cache and
+    /// the kernel stay mutable.
+    pub(crate) code: Arc<[(Instr, u8)]>,
+    /// Start address of the executable region the block decodes from.
+    pub(crate) region_start: u64,
+    /// That region's write generation when the block was decoded.
+    pub(crate) gen: u64,
+}
+
+/// Counters for the decode-cached block dispatcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Block dispatches served from the cache without decoding.
+    pub block_hits: u64,
+    /// Basic blocks decoded and inserted into the cache.
+    pub blocks_decoded: u64,
+    /// Icache flush sweeps (lazy after a text write, or explicit from
+    /// the patching machinery inside a stop_machine window).
+    pub icache_flushes: u64,
+    /// Cached blocks evicted by those sweeps.
+    pub blocks_evicted: u64,
+}
+
+/// The dispatcher's position inside a cached block: the block and the
+/// index of the next instruction to execute.
+type Cursor = Option<(Arc<[(Instr, u8)]>, usize)>;
+
+/// Multiply-mix hasher for address-keyed maps. Block-cache keys are
+/// instruction addresses — already well spread — and the lookup sits on
+/// the dispatch fast path, where SipHash's setup cost dominates.
+#[derive(Default)]
+pub(crate) struct AddrHasher(u64);
+
+impl std::hash::Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A `HashMap` keyed by address, using [`AddrHasher`].
+pub(crate) type AddrMap<V> =
+    std::collections::HashMap<u64, V, std::hash::BuildHasherDefault<AddrHasher>>;
+
 impl Kernel {
+    /// Sweeps the decoded-block cache, evicting every block whose
+    /// region's write generation moved (or whose region vanished)
+    /// since the block was decoded — the `flush_icache_range`
+    /// analogue. The patching machinery calls this right after
+    /// writing trampolines inside the stop_machine window; the VM
+    /// also sweeps lazily before dispatching after any text write.
+    /// Returns the number of blocks evicted.
+    pub fn flush_icache(&mut self) -> usize {
+        let before = self.block_cache.len();
+        let mem = &self.mem;
+        self.block_cache
+            .retain(|_, b| mem.region_generation(b.region_start) == Some(b.gen));
+        let evicted = before - self.block_cache.len();
+        self.icache_clock = self.mem.text_generation();
+        self.vm_stats.icache_flushes += 1;
+        self.vm_stats.blocks_evicted += evicted as u64;
+        evicted
+    }
+
     /// Runs thread `tid` for at most `max_steps` instructions; returns the
     /// number executed.
     pub(crate) fn run_slice(&mut self, tid: u64, max_steps: u64) -> u64 {
+        if self.mem.text_generation() != self.icache_clock {
+            self.flush_icache();
+        }
+        // Threads are only ever appended, so the index stays valid for
+        // the whole slice even if the thread spawns others.
+        let ti = self.threads.iter().position(|t| t.tid == tid);
+        let mut cursor: Cursor = None;
         let mut used = 0;
         while used < max_steps {
-            let outcome = self.step(tid);
+            let outcome = match ti {
+                // No such thread: the historical interpreter burned one
+                // step discovering that, and so do we.
+                None => Step::Stopped,
+                Some(ti) => self.step_cached(ti, tid, &mut cursor),
+            };
             used += 1;
             // PC sampler: one branch when disarmed; on the Nth step it
             // records the running thread's stack (see `profiler`).
-            if self.profiler.is_some() {
-                let fire = self.profiler.as_mut().is_some_and(|p| p.tick());
-                if fire {
-                    self.record_sample(tid, self.steps + used);
-                }
+            if self.profiler.as_mut().is_some_and(|p| p.tick()) {
+                self.record_sample(tid, self.steps + used);
             }
             match outcome {
                 Step::Continue => {}
                 Step::Yielded | Step::Stopped => break,
             }
+            // A store into writable+executable memory (or a native that
+            // poked text) invalidates decoded blocks immediately —
+            // including the one currently executing.
+            if self.mem.text_generation() != self.icache_clock {
+                self.flush_icache();
+                cursor = None;
+            }
         }
         self.steps += used;
         used
+    }
+
+    /// Executes one instruction through the block cache. Falls back to
+    /// the legacy [`Kernel::step`] for everything that is not ordinary
+    /// mapped text (dead threads, the return sentinel, native calls,
+    /// unfetchable or undecodable addresses) so every fault message
+    /// and exit path stays byte-identical.
+    fn step_cached(&mut self, ti: usize, tid: u64, cursor: &mut Cursor) -> Step {
+        if let Some((code, idx)) = cursor {
+            let (instr, _) = code[*idx];
+            let last = *idx + 1 == code.len();
+            let out = self.exec_instr(ti, tid, instr);
+            if last || !matches!(out, Step::Continue) {
+                *cursor = None;
+            } else {
+                *idx += 1;
+            }
+            return out;
+        }
+        let t = &self.threads[ti];
+        if !matches!(t.state, ThreadState::Runnable)
+            || t.ip == RETURN_SENTINEL
+            || t.ip >= NATIVE_BASE
+        {
+            return self.step(tid);
+        }
+        let ip = t.ip;
+        match self.block_at(ip) {
+            Some(code) => {
+                let (instr, _) = code[0];
+                let out = self.exec_instr(ti, tid, instr);
+                if code.len() > 1 && matches!(out, Step::Continue) {
+                    *cursor = Some((code, 1));
+                }
+                out
+            }
+            None => self.step(tid),
+        }
+    }
+
+    /// The cached block starting at `ip`, decoding (and caching) it on
+    /// a miss. `None` when `ip` is not fetchable/decodable text — the
+    /// caller falls back to the legacy path for the exact oops.
+    fn block_at(&mut self, ip: u64) -> Option<Arc<[(Instr, u8)]>> {
+        if let Some(b) = self.block_cache.get(&ip) {
+            self.vm_stats.block_hits += 1;
+            return Some(Arc::clone(&b.code));
+        }
+        let (region_start, region_end) = {
+            let r = self.mem.region_at(ip, 1)?;
+            if !r.perms.exec {
+                return None;
+            }
+            (r.start, r.start + r.size)
+        };
+        let gen = self.mem.region_generation(region_start)?;
+        let bytes = self.mem.fetch(ip, region_end - ip).ok()?;
+        let (decoded, _) = predecode_block(bytes, MAX_BLOCK_INSTRS);
+        if decoded.is_empty() {
+            return None;
+        }
+        let code: Arc<[(Instr, u8)]> = decoded.into();
+        self.vm_stats.blocks_decoded += 1;
+        self.block_cache.insert(
+            ip,
+            CachedBlock {
+                code: Arc::clone(&code),
+                region_start,
+                gen,
+            },
+        );
+        Some(code)
     }
 
     fn oops(&mut self, tid: u64, reason: String) -> Step {
@@ -63,12 +245,15 @@ impl Kernel {
         Step::Stopped
     }
 
-    /// Executes one instruction (or native call) for `tid`.
+    /// Executes one instruction (or native call) for `tid`, fetching
+    /// and decoding it from memory — the legacy slow path, kept for
+    /// everything the block cache does not cover.
     fn step(&mut self, tid: u64) -> Step {
+        let Some(ti) = self.threads.iter().position(|t| t.tid == tid) else {
+            return Step::Stopped;
+        };
         let (ip, regs) = {
-            let Some(t) = self.thread(tid) else {
-                return Step::Stopped;
-            };
+            let t = &self.threads[ti];
             if !matches!(t.state, ThreadState::Runnable) {
                 return Step::Stopped;
             }
@@ -78,7 +263,7 @@ impl Kernel {
         // Returning to the sentinel ends the thread.
         if ip == RETURN_SENTINEL {
             let code = regs[0];
-            let t = self.thread_mut(tid).expect("live thread");
+            let t = &mut self.threads[ti];
             t.state = ThreadState::Exited(code);
             return Step::Stopped;
         }
@@ -129,67 +314,102 @@ impl Kernel {
                 Err(e) => return self.oops(tid, format!("invalid opcode: {e}")),
             }
         };
-        let len = instr.len() as u64;
-        let next = ip + len;
+        self.exec_instr(ti, tid, instr)
+    }
 
-        // Helper macros over the thread's registers.
+    /// Executes one already-decoded ordinary instruction for the
+    /// runnable thread at index `ti` (tid `tid`). The architectural
+    /// core shared by the cached dispatcher and the legacy path.
+    ///
+    /// Effects are applied *fault-first*: every instruction has at most
+    /// one faulting operation (a load, a store, or a divide check), and
+    /// it runs before any register or flag is written. An oops
+    /// therefore leaves the thread exactly as the fetch found it — the
+    /// same guarantee the historical interpreter bought by staging a
+    /// full register-file copy, without copying 128 bytes twice per
+    /// instruction.
+    fn exec_instr(&mut self, ti: usize, tid: u64, instr: Instr) -> Step {
+        let t = &mut self.threads[ti];
+        let next = t.ip + instr.len() as u64;
+
+        // Helper over the thread's registers (borrowed through `t`, so
+        // `self.mem` stays independently borrowable).
         macro_rules! reg {
             ($r:expr) => {
-                regs[$r.num() as usize]
+                t.regs[$r.num() as usize]
             };
         }
-
-        let mut new_regs = regs;
-        let mut new_ip = next;
-        let mut new_flags: Option<(bool, bool)> = None;
-        // Stores are staged in a fixed buffer — no heap allocation on
-        // the per-instruction path.
-        enum Mem {
-            None,
-            Store(u64, [u8; 8], usize),
+        // Commits the instruction: ip (fall-through or explicit) and
+        // the cycle count, then returns Continue.
+        macro_rules! retire {
+            () => {{
+                t.ip = next;
+                t.cycles += 1;
+                return Step::Continue;
+            }};
+            ($ip:expr) => {{
+                t.ip = $ip;
+                t.cycles += 1;
+                return Step::Continue;
+            }};
         }
-        let mut mem_op = Mem::None;
-        macro_rules! store8 {
-            ($addr:expr, $v:expr) => {
-                mem_op = Mem::Store($addr, $v.to_le_bytes(), 8)
-            };
-        }
-        let mut result: Result<(), String> = Ok(());
 
-        match instr {
+        let msg: String = match instr {
             Instr::Hlt => {
-                let t = self.thread_mut(tid).expect("live thread");
-                t.state = ThreadState::Exited(regs[0]);
+                t.state = ThreadState::Exited(t.regs[0]);
                 return Step::Stopped;
             }
-            Instr::Nop1 | Instr::NopN(_) => {}
-            Instr::MovRR(d, s) => new_regs[d.num() as usize] = reg!(s),
-            Instr::MovRI32(d, v) => new_regs[d.num() as usize] = v as i64 as u64,
-            Instr::MovRI64(d, v) => new_regs[d.num() as usize] = v,
+            Instr::Nop1 | Instr::NopN(_) => retire!(),
+            Instr::MovRR(d, s) => {
+                reg!(d) = reg!(s);
+                retire!()
+            }
+            Instr::MovRI32(d, v) => {
+                reg!(d) = v as i64 as u64;
+                retire!()
+            }
+            Instr::MovRI64(d, v) => {
+                reg!(d) = v;
+                retire!()
+            }
             Instr::Ld(d, b, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
                 match self.mem.load_u64(addr) {
-                    Ok(v) => new_regs[d.num() as usize] = v,
-                    Err(e) => result = Err(e.to_string()),
+                    Ok(v) => {
+                        reg!(d) = v;
+                        retire!()
+                    }
+                    Err(e) => e.to_string(),
                 }
             }
             Instr::St(b, s, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
-                store8!(addr, reg!(s));
+                match self.mem.store(addr, &reg!(s).to_le_bytes()) {
+                    Ok(()) => retire!(),
+                    Err(e) => e.to_string(),
+                }
             }
             Instr::Ld8(d, b, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
                 match self.mem.load(addr, 1) {
-                    Ok(v) => new_regs[d.num() as usize] = v[0] as u64,
-                    Err(e) => result = Err(e.to_string()),
+                    Ok(v) => {
+                        let v = v[0] as u64;
+                        reg!(d) = v;
+                        retire!()
+                    }
+                    Err(e) => e.to_string(),
                 }
             }
             Instr::St8(b, s, disp) => {
                 let addr = reg!(b).wrapping_add(disp as i64 as u64);
-                mem_op = Mem::Store(addr, [reg!(s) as u8, 0, 0, 0, 0, 0, 0, 0], 1);
+                match self.mem.store(addr, &[reg!(s) as u8]) {
+                    Ok(()) => retire!(),
+                    Err(e) => e.to_string(),
+                }
             }
             Instr::Lea(d, b, disp) => {
-                new_regs[d.num() as usize] = reg!(b).wrapping_add(disp as i64 as u64)
+                reg!(d) = reg!(b).wrapping_add(disp as i64 as u64);
+                retire!()
             }
             Instr::Bin(op, d, s) => {
                 let a = reg!(d) as i64;
@@ -219,109 +439,121 @@ impl Kernel {
                     BinOp::Shr => Some(((a as u64).wrapping_shr(b as u32 & 63)) as i64),
                 };
                 match v {
-                    Some(v) => new_regs[d.num() as usize] = v as u64,
-                    None => result = Err("divide error".to_string()),
+                    Some(v) => {
+                        reg!(d) = v as u64;
+                        retire!()
+                    }
+                    None => "divide error".to_string(),
                 }
             }
             Instr::AddI(d, imm) => {
-                new_regs[d.num() as usize] = reg!(d).wrapping_add(imm as i64 as u64)
+                reg!(d) = reg!(d).wrapping_add(imm as i64 as u64);
+                retire!()
             }
-            Instr::Neg(d) => new_regs[d.num() as usize] = (reg!(d) as i64).wrapping_neg() as u64,
-            Instr::Not(d) => new_regs[d.num() as usize] = !reg!(d),
+            Instr::Neg(d) => {
+                reg!(d) = (reg!(d) as i64).wrapping_neg() as u64;
+                retire!()
+            }
+            Instr::Not(d) => {
+                reg!(d) = !reg!(d);
+                retire!()
+            }
             Instr::Cmp(a, b) => {
                 let (x, y) = (reg!(a) as i64, reg!(b) as i64);
-                new_flags = Some((x == y, x < y));
+                t.zf = x == y;
+                t.lf = x < y;
+                retire!()
             }
             Instr::CmpI(a, imm) => {
                 let (x, y) = (reg!(a) as i64, imm as i64);
-                new_flags = Some((x == y, x < y));
+                t.zf = x == y;
+                t.lf = x < y;
+                retire!()
             }
-            Instr::Jmp8(rel) => new_ip = next.wrapping_add(rel as i64 as u64),
-            Instr::Jmp32(rel) => new_ip = next.wrapping_add(rel as i64 as u64),
+            Instr::Jmp8(rel) => retire!(next.wrapping_add(rel as i64 as u64)),
+            Instr::Jmp32(rel) => retire!(next.wrapping_add(rel as i64 as u64)),
             Instr::Jcc8(c, rel) => {
-                let t = self.thread(tid).expect("live thread");
                 if c.eval(t.zf, t.lf) {
-                    new_ip = next.wrapping_add(rel as i64 as u64);
+                    retire!(next.wrapping_add(rel as i64 as u64))
                 }
+                retire!()
             }
-            // (Jcc32 handled below with identical semantics.)
             Instr::Jcc32(c, rel) => {
-                let t = self.thread(tid).expect("live thread");
                 if c.eval(t.zf, t.lf) {
-                    new_ip = next.wrapping_add(rel as i64 as u64);
+                    retire!(next.wrapping_add(rel as i64 as u64))
                 }
+                retire!()
             }
             Instr::Call32(rel) => {
-                let sp = regs[15].wrapping_sub(8);
-                store8!(sp, next);
-                new_regs[15] = sp;
-                new_ip = next.wrapping_add(rel as i64 as u64);
+                let sp = t.regs[15].wrapping_sub(8);
+                match self.mem.store(sp, &next.to_le_bytes()) {
+                    Ok(()) => {
+                        t.regs[15] = sp;
+                        retire!(next.wrapping_add(rel as i64 as u64))
+                    }
+                    Err(e) => e.to_string(),
+                }
             }
             Instr::CallR(r) => {
-                let sp = regs[15].wrapping_sub(8);
-                store8!(sp, next);
-                new_regs[15] = sp;
-                new_ip = reg!(r);
+                let sp = t.regs[15].wrapping_sub(8);
+                match self.mem.store(sp, &next.to_le_bytes()) {
+                    Ok(()) => {
+                        let target = reg!(r);
+                        t.regs[15] = sp;
+                        retire!(target)
+                    }
+                    Err(e) => e.to_string(),
+                }
             }
             Instr::Ret => {
-                let sp = regs[15];
+                let sp = t.regs[15];
                 match self.mem.load_u64(sp) {
                     Ok(v) => {
-                        new_regs[15] = sp + 8;
-                        new_ip = v;
+                        t.regs[15] = sp + 8;
+                        retire!(v)
                     }
-                    Err(e) => result = Err(format!("ret: {e}")),
+                    Err(e) => format!("ret: {e}"),
                 }
             }
             Instr::Push(r) => {
-                let sp = regs[15].wrapping_sub(8);
-                store8!(sp, reg!(r));
-                new_regs[15] = sp;
+                let sp = t.regs[15].wrapping_sub(8);
+                match self.mem.store(sp, &reg!(r).to_le_bytes()) {
+                    Ok(()) => {
+                        t.regs[15] = sp;
+                        retire!()
+                    }
+                    Err(e) => e.to_string(),
+                }
             }
             Instr::Pop(r) => {
-                let sp = regs[15];
+                let sp = t.regs[15];
                 match self.mem.load_u64(sp) {
                     Ok(v) => {
-                        new_regs[r.num() as usize] = v;
-                        new_regs[15] = sp + 8;
+                        reg!(r) = v;
+                        t.regs[15] = sp + 8;
+                        retire!()
                     }
-                    Err(e) => result = Err(format!("pop: {e}")),
+                    Err(e) => format!("pop: {e}"),
                 }
             }
             Instr::Int(0x80) => {
                 // System call: an in-kernel call to `do_syscall`.
                 match self.syscall_entry {
                     Some(entry) => {
-                        let sp = regs[15].wrapping_sub(8);
-                        store8!(sp, next);
-                        new_regs[15] = sp;
-                        new_ip = entry;
+                        let sp = t.regs[15].wrapping_sub(8);
+                        match self.mem.store(sp, &next.to_le_bytes()) {
+                            Ok(()) => {
+                                t.regs[15] = sp;
+                                retire!(entry)
+                            }
+                            Err(e) => e.to_string(),
+                        }
                     }
-                    None => result = Err("int 0x80 with no do_syscall".to_string()),
+                    None => "int 0x80 with no do_syscall".to_string(),
                 }
             }
-            Instr::Int(v) => result = Err(format!("unexpected interrupt {v:#04x}")),
-        }
-
-        if let Err(msg) = result {
-            return self.oops(tid, msg);
-        }
-        if let Mem::Store(addr, bytes, len) = mem_op {
-            if let Err(e) = self.mem.store(addr, &bytes[..len]) {
-                return self.oops(tid, e.to_string());
-            }
-        }
-        let t = self.thread_mut(tid).expect("live thread");
-        t.regs = new_regs;
-        t.ip = new_ip;
-        if let Some((zf, lf)) = new_flags {
-            t.zf = zf;
-            t.lf = lf;
-        }
-        t.cycles += 1;
-        // A sanity backstop: the VM never lets a thread run off into
-        // unmapped space silently; the next fetch will oops instead.
-        let _ = Reg::R0;
-        Step::Continue
+            Instr::Int(v) => format!("unexpected interrupt {v:#04x}"),
+        };
+        self.oops(tid, msg)
     }
 }

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use ksplice_object::Object;
+use ksplice_object::{Object, ObjectSet};
 
 use crate::Options;
 
@@ -127,11 +127,27 @@ struct Entry {
     last_used: u64,
 }
 
+struct ImageEntry {
+    set: ObjectSet,
+    last_used: u64,
+}
+
 struct Inner {
     map: HashMap<u64, Entry>,
+    /// Whole-image memoization: a finished [`ObjectSet`] per image
+    /// fingerprint (the set of unit content hashes plus options — see
+    /// `build_tree_image_cached`). Rebuilding an unchanged tree is the
+    /// pipeline's single most repeated operation (`ksplice-create`
+    /// rebuilds the same pre tree for every update it packages), and an
+    /// image hit skips even the per-unit cache traffic.
+    images: HashMap<u64, ImageEntry>,
     clock: u64,
     totals: BuildStats,
 }
+
+/// Whole images kept (LRU). Images are big — a handful covers the
+/// pipeline's working set (the base tree under each compiler).
+const IMAGE_CAPACITY: usize = 32;
 
 /// A content-addressed, thread-safe, LRU-bounded cache of compiled
 /// per-unit objects. See the module docs for the keying discipline.
@@ -155,6 +171,7 @@ impl BuildCache {
         BuildCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                images: HashMap::new(),
                 clock: 0,
                 totals: BuildStats::default(),
             }),
@@ -218,6 +235,51 @@ impl BuildCache {
         evicted
     }
 
+    /// Looks up a whole-image fingerprint, refreshing its recency on
+    /// hit. Image traffic is deliberately kept out of [`BuildStats`]
+    /// totals: a hit is reported by the caller as one unit-hit per
+    /// object so downstream accounting reads exactly like a fully warm
+    /// per-unit build.
+    pub fn lookup_image(&self, key: u64) -> Option<ObjectSet> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.images.get_mut(&key).map(|entry| {
+            entry.last_used = clock;
+            entry.set.clone()
+        })
+    }
+
+    /// Stores a finished image, evicting the least-recently-used one at
+    /// capacity.
+    pub fn store_image(&self, key: u64, set: ObjectSet) {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.images.contains_key(&key) && inner.images.len() >= IMAGE_CAPACITY {
+            if let Some(&victim) = inner
+                .images
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.images.remove(&victim);
+            }
+        }
+        inner.images.insert(
+            key,
+            ImageEntry {
+                set,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Number of cached whole images.
+    pub fn image_count(&self) -> usize {
+        self.lock().images.len()
+    }
+
     /// Number of cached objects.
     pub fn len(&self) -> usize {
         self.lock().map.len()
@@ -236,7 +298,9 @@ impl BuildCache {
 
     /// Drops every entry (totals are kept — they are lifetime counters).
     pub fn clear(&self) {
-        self.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.images.clear();
     }
 }
 

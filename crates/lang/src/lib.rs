@@ -63,7 +63,8 @@ pub use ast::{
     StructDef, Type, UnaryOp, Unit,
 };
 pub use build::{
-    build_tree, build_tree_cached, compile_unit, compile_unit_with, parse_headers,
+    build_tree, build_tree_cached, build_tree_image_cached, compile_unit, compile_unit_with,
+    parse_headers,
     tree_function_index, tree_inline_report, SourceTree,
 };
 pub use cache::{options_fingerprint, BuildCache, BuildStats, Fingerprint};
