@@ -1,0 +1,64 @@
+//! Quiescence under load — the SMP substrate's headline measurement.
+//!
+//! One headline sweep writes BENCH_smp.json: single-attempt applies of
+//! CVE-2005-1263 (`sys_open`) against a 4-vCPU kernel at increasing
+//! background stress load, recording the real `NotQuiescent` abort rate
+//! per level (`bench.smp_aborts` / `bench.smp_probes`, labeled by load)
+//! and the successful-window pause distribution in deterministic VM
+//! steps (`bench.smp_pause_steps` histogram, labeled by load). Every
+//! abort is drained to success by the retry policy, so the sweep also
+//! asserts the §5.2 retry story end to end.
+//!
+//! Criterion then times a short two-level sweep for the per-run cost.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_core::Tracer;
+use ksplice_eval::{run_quiescence_load, SmpLoadConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SmpLoadConfig::default();
+    let mut tracer = Tracer::new();
+    let t = Instant::now();
+    let report = run_quiescence_load(&cfg, &mut tracer).expect("quiescence sweep");
+    let sweep_ms = t.elapsed().as_millis();
+    tracer.count("bench.smp_sweep_ms", sweep_ms as u64);
+    assert!(
+        report.total_aborts() > 0,
+        "the loaded levels should produce real NotQuiescent aborts"
+    );
+    assert_eq!(
+        report.rows.first().map(|r| r.aborts),
+        Some(0),
+        "the unloaded level should capture first try"
+    );
+    println!(
+        "\n== quiescence under load ({} vCPUs, {} probes/level, {sweep_ms} ms) ==\n{}",
+        report.cpus,
+        cfg.probes,
+        report.render()
+    );
+    std::fs::write("BENCH_smp.json", tracer.metrics_json()).expect("write BENCH_smp.json");
+
+    c.bench_function("smp/two_levels", |b| {
+        b.iter(|| {
+            run_quiescence_load(
+                &SmpLoadConfig {
+                    load_levels: vec![0, 4],
+                    probes: 4,
+                    ..SmpLoadConfig::default()
+                },
+                &mut Tracer::disabled(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -35,7 +35,7 @@ use ksplice_core::trace::{
 };
 use ksplice_core::{
     create_update_traced, ApplyOptions, CreateOptions, HealthProbe, Ksplice, RetryPolicy,
-    UpdateManager, UpdatePack, WatchPolicy,
+    SmpConfig, UpdateManager, UpdatePack, WatchPolicy,
 };
 use ksplice_eval::{base_tree, corpus, quiescence_correlation, run_exploit, run_profile, ProfileConfig};
 use ksplice_kernel::{Fault, Kernel};
@@ -86,21 +86,21 @@ fn main() -> ExitCode {
                 "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|status|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
-                 \n  demo    [--cve <id>] [--retry-policy <spec>] [--fault <site>]... [--fault-seed <n>]\
-                 \n          [--watch-rounds <n>] [--probe <fn(args)=expected>]... [--undo]\
-                 \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>]\
+                 \n  demo    [--cve <id>] [--retry-policy <spec>] [--cpus <n>] [--fault <site>]...\
+                 \n          [--fault-seed <n>] [--watch-rounds <n>] [--probe <fn(args)=expected>]... [--undo]\
+                 \n  eval    [--stress <rounds>] [--jobs <n>] [--retry-policy <spec>] [--cpus <n>]\
                  \n  profile [--cve <id>] [--interval <steps>] [--samples <n>] [--rounds <n>]\
                  \n          [--seed <n>] [--flame <file>] [--json] [--correlate]\
                  \n  fuzz    [--seed <n>] [--mutants <n>] [--workload syscalls|stress|both]\
                  \n          [--jobs <n>] [--emit <dir>] [--replay <dir>]\
-                 \n  status  [--cve <id>]... [--undo <id>] [--watch-rounds <n>] [--probe <spec>]...\
+                 \n  status  [--cve <id>]... [--undo <id>] [--cpus <n>] [--watch-rounds <n>] [--probe <spec>]...\
                  \n  list\
                  \n  report  <trace.jsonl> [--spans] [--timeline <file>]\
                  \n\
                  \n  retry-policy spec: fixed:ATTEMPTS:DELAY | exp:ATTEMPTS:INITIAL:MAX, with\
                  \n  optional :jPCT (jitter) and :cSTEPS (abandon cooldown) modifiers\
                  \n  fault sites (dev): stack-busy:N | module-load:N | corrupt-text[:0xADDR] |\
-                 \n  step-jitter:N | probe-fail:N\
+                 \n  step-jitter:N | probe-fail:N | barrier-stall:N\
                  \n  probe spec: canary call + expected result, e.g. sys_getuid()=1000; with\
                  \n  --watch-rounds the update is quarantined and auto-rolled-back on failure"
             );
@@ -156,12 +156,20 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
         .collect()
 }
 
-/// The `--retry-policy` flag, or the default schedule.
+/// The `--retry-policy` and `--cpus` flags, or the default schedule on
+/// a uniprocessor kernel.
 fn retry_policy_arg(args: &[String]) -> Result<ApplyOptions, String> {
-    Ok(match flag_value(args, "--retry-policy") {
+    let mut opts = match flag_value(args, "--retry-policy") {
         Some(spec) => ApplyOptions::with_retry(RetryPolicy::parse(spec)?),
         None => ApplyOptions::default(),
-    })
+    };
+    if let Some(n) = flag_value(args, "--cpus") {
+        let cpus: u32 = n
+            .parse()
+            .map_err(|_| format!("--cpus: expected a number, got `{n}`"))?;
+        opts.smp = SmpConfig::with_cpus(cpus);
+    }
+    Ok(opts)
 }
 
 /// Progress note: an Info-severity CLI event carrying one message.
@@ -277,6 +285,9 @@ fn cmd_demo(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
         "booting the vulnerable kernel...".into(),
     );
     let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
+    if apply_opts.smp.cpus > 1 {
+        kernel.configure_smp(apply_opts.smp.clone());
+    }
     tracer.set_now(kernel.steps);
     if case.exploit.is_some() {
         let worked = run_exploit(&mut kernel, &case) == Some(true);
@@ -437,6 +448,9 @@ fn cmd_status(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
     let probe_specs = flag_values(args, "--probe");
 
     let mut kernel = Kernel::boot(&base_tree(), &Options::distro()).map_err(|e| e.to_string())?;
+    if apply_opts.smp.cpus > 1 {
+        kernel.configure_smp(apply_opts.smp.clone());
+    }
     tracer.set_now(kernel.steps);
     let mut mgr = UpdateManager::with_watch(WatchPolicy {
         rounds: watch_rounds.unwrap_or(1),

@@ -15,7 +15,7 @@ use std::fmt;
 use std::time::Duration;
 
 use ksplice_asm::Instr;
-use ksplice_kernel::{apply_reloc_at, Kernel, LinkError, LoadedModule};
+use ksplice_kernel::{apply_reloc_at, Kernel, LinkError, LoadedModule, SmpConfig};
 use ksplice_lang::HookKind;
 use ksplice_object::{Object, RelocKind, SectionKind};
 use ksplice_trace::{Severity, Stage, Tracer, Value};
@@ -96,12 +96,29 @@ pub struct ApplyOptions {
     /// backoff shape, jitter, abandon cooldown). The default reproduces
     /// the historical fixed 5 × 2 000-step schedule.
     pub retry: RetryPolicy,
+    /// The SMP topology the target kernel should run (vCPU count,
+    /// quantum, scheduling seed). The default — one vCPU — keeps every
+    /// historical artifact byte-identical; at `cpus > 1` the pipeline's
+    /// `stop_machine` performs a real barrier rendezvous and the §5.2
+    /// stack check races genuinely-running vCPU threads.
+    pub smp: SmpConfig,
 }
 
 impl ApplyOptions {
     /// Options carrying the given retry schedule.
     pub fn with_retry(retry: RetryPolicy) -> ApplyOptions {
-        ApplyOptions { retry }
+        ApplyOptions {
+            retry,
+            ..ApplyOptions::default()
+        }
+    }
+
+    /// Options carrying the given SMP topology (default retry policy).
+    pub fn with_smp(smp: SmpConfig) -> ApplyOptions {
+        ApplyOptions {
+            smp,
+            ..ApplyOptions::default()
+        }
     }
 }
 
@@ -120,6 +137,11 @@ pub struct ApplyReport {
     /// never pair this apply's attempts with some other stop_machine's
     /// duration read later off the kernel.
     pub pause: Duration,
+    /// Simulated pause of the successful window in VM steps: barrier
+    /// rendezvous (N ≥ 2) plus the stopped-machine work. Deterministic,
+    /// unlike the wall-clock `pause` — this is what the SMP load
+    /// experiments distribute. 0 on a quiesced uniprocessor.
+    pub pause_steps: u64,
     /// Trampolines written.
     pub sites: usize,
     /// Kernel step-clock deltas per stage, in pipeline order. Stages that
@@ -697,6 +719,7 @@ impl Ksplice {
             .collect();
         let mut attempt = 0;
         let pause;
+        let pause_steps;
         loop {
             attempt += 1;
             let attempt_span = tracer.span_start(
@@ -705,7 +728,7 @@ impl Ksplice {
                 vec![("attempt", attempt.into())],
             );
             let evicted_before = kernel.vm_stats.blocks_evicted;
-            let result = kernel.stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
+            let result = kernel.try_stop_machine(|k| -> Result<Vec<[u8; TRAMPOLINE_LEN]>, StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
                 }
@@ -738,6 +761,14 @@ impl Ksplice {
                 }
                 Ok(saved)
             });
+            // A barrier timeout means `f` never ran: flatten it into the
+            // retryable abandon path alongside a busy stack.
+            let result = match result {
+                Ok(inner) => inner,
+                Err(ksplice_kernel::StopMachineError::BarrierTimeout { cpu }) => {
+                    Err(StopError::Barrier { cpu })
+                }
+            };
             tracer.set_now(kernel.steps);
             tracer.count("apply.stop_machine_attempts", 1);
             let pause_us = kernel
@@ -748,6 +779,7 @@ impl Ksplice {
             match result {
                 Ok(saved) => {
                     pause = kernel.last_stop_machine.unwrap_or_default();
+                    pause_steps = kernel.last_stop_machine_steps;
                     tracer.emit(
                         Stage::Apply,
                         Severity::Info,
@@ -788,6 +820,9 @@ impl Ksplice {
                 Err(e) => {
                     let (busy_tid, busy_fn, hook_detail) = match &e {
                         StopError::Busy { tid, fn_name } => (*tid, fn_name.clone(), None),
+                        StopError::Barrier { cpu } => {
+                            (*cpu as u64, format!("<barrier:cpu{cpu}>"), None)
+                        }
                         StopError::Hook(detail) => (0, String::new(), Some(detail.clone())),
                     };
                     tracer.emit(
@@ -879,6 +914,7 @@ impl Ksplice {
             id: pack.id.clone(),
             attempts: attempt,
             pause,
+            pause_steps,
             sites: sites.len(),
             stage_steps,
         };
@@ -1029,7 +1065,7 @@ impl Ksplice {
                 "undo.attempt",
                 vec![("attempt", attempt.into())],
             );
-            let result = kernel.stop_machine(|k| -> Result<(), StopError> {
+            let result = kernel.try_stop_machine(|k| -> Result<(), StopError> {
                 if let Some((tid, fn_name)) = busy_function(k, &ranges) {
                     return Err(StopError::Busy { tid, fn_name });
                 }
@@ -1061,6 +1097,12 @@ impl Ksplice {
                 }
                 Ok(())
             });
+            let result = match result {
+                Ok(inner) => inner,
+                Err(ksplice_kernel::StopMachineError::BarrierTimeout { cpu }) => {
+                    Err(StopError::Barrier { cpu })
+                }
+            };
             tracer.set_now(kernel.steps);
             tracer.count("undo.stop_machine_attempts", 1);
             let pause_us = kernel
@@ -1105,6 +1147,9 @@ impl Ksplice {
                 Err(e) => {
                     let (busy_tid, busy_fn, hook_detail) = match e {
                         StopError::Busy { tid, fn_name } => (tid, fn_name, None),
+                        StopError::Barrier { cpu } => {
+                            (cpu as u64, format!("<barrier:cpu{cpu}>"), None)
+                        }
                         StopError::Hook(detail) => (0, String::new(), Some(detail)),
                     };
                     tracer.emit(
@@ -1173,6 +1218,10 @@ impl Ksplice {
 pub(crate) enum StopError {
     /// The §5.2 stack check found `fn_name` on thread `tid`'s stack.
     Busy { tid: u64, fn_name: String },
+    /// The barrier rendezvous timed out: vCPU `cpu` never checked in
+    /// (fault-injected). Retryable, like `Busy` — the next capture
+    /// attempt rendezvouses from scratch.
+    Barrier { cpu: u32 },
     /// A stopped-machine hook failed.
     Hook(String),
 }
@@ -1234,7 +1283,18 @@ pub(crate) fn busy_function(
     kernel: &mut Kernel,
     ranges: &[(u64, u64, String)],
 ) -> Option<(u64, String)> {
-    if let Some(hit) = kernel.faults.stack_check_busy(ranges) {
+    if kernel.num_cpus() > 1 {
+        // At N ≥ 2 an armed stack-busy fault is realized *physically*:
+        // a vCPU thread is parked at the target's entry (and released
+        // once the armed windows run out), so the generic scan below
+        // finds a genuine instruction pointer — no synthetic verdict.
+        // The window bookkeeping and fired log march exactly as at
+        // N = 1; with no fault armed this costs one integer compare.
+        let addr = ranges.first().map(|&(a, _, _)| a).unwrap_or(0);
+        if kernel.park_fault_vcpu(addr).is_some() {
+            kernel.faults.stack_check_busy(ranges);
+        }
+    } else if let Some(hit) = kernel.faults.stack_check_busy(ranges) {
         return Some(hit);
     }
     for (tid, backtrace) in kernel.all_backtraces() {

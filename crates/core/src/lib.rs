@@ -89,6 +89,9 @@ pub use runpre::{
     UnitMatch,
 };
 pub use stream::{replay_sources, StreamError, Subscriber, UpdateStream};
+// Re-exported so callers configuring `ApplyOptions::smp` need not depend
+// on `ksplice-kernel` directly.
+pub use ksplice_kernel::{SmpConfig, StopMachineError};
 
 // The observability layer, re-exported so downstreams need not depend on
 // `ksplice-trace` directly to drive the `_traced` entry points.

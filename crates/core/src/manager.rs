@@ -1096,6 +1096,12 @@ impl Ksplice {
                 Err(e) => {
                     let (busy_tid, busy_fn, hook_detail) = match e {
                         StopError::Busy { tid, fn_name } => (tid, fn_name, None),
+                        // Unreachable here: this site uses the infallible
+                        // stop_machine, which never consults the barrier
+                        // fault — but the match must stay exhaustive.
+                        StopError::Barrier { cpu } => {
+                            (cpu as u64, format!("<barrier:cpu{cpu}>"), None)
+                        }
                         StopError::Hook(detail) => (0, String::new(), Some(detail)),
                     };
                     tracer.emit(

@@ -1,0 +1,180 @@
+//! SMP quiescence properties (paper §5.2 on a multiprocessor).
+//!
+//! The contract under test, at every vCPU count:
+//!
+//! 1. A thread genuinely parked inside a patch target always forces
+//!    `NotQuiescent` — the safety check never lets `stop_machine`
+//!    write a trampoline over a frame that is still live.
+//! 2. An abandoned apply leaves the text image checksum-identical to
+//!    the pre-apply state: no torn writes, no half-installed sites.
+//! 3. Whatever the interleaving, an apply either fully commits (the
+//!    patched behavior is observable) or fully aborts (the old text is
+//!    bit-identical) — there is no third state.
+
+use ksplice_core::{
+    create_update, ApplyError, ApplyOptions, CreateOptions, Ksplice, RetryPolicy, SmpConfig,
+};
+use ksplice_kernel::{Kernel, ThreadState};
+use ksplice_lang::{Options, SourceTree};
+use ksplice_patch::make_diff;
+
+const WORKER: &str = "int keep_running = 1;\n\
+int loops_done;\n\
+int worker_loop() {\n\
+    while (keep_running) {\n\
+        loops_done = loops_done + 1;\n\
+        msleep(1);\n\
+    }\n\
+    return loops_done;\n\
+}\n\
+int stop_worker() { keep_running = 0; return 0; }\n\
+int answer() { return 1; }\n";
+
+fn boot(cpus: u32) -> (Kernel, SourceTree) {
+    let mut tree = SourceTree::new();
+    tree.insert("kernel/worker.kc", WORKER);
+    let mut kernel = Kernel::boot(&tree, &Options::distro()).unwrap();
+    if cpus > 1 {
+        kernel.configure_smp(SmpConfig::with_cpus(cpus));
+    }
+    (kernel, tree)
+}
+
+fn worker_patch(tree: &SourceTree) -> ksplice_core::UpdatePack {
+    let patched = WORKER.replace("loops_done + 1", "loops_done + 2");
+    let patch = make_diff("kernel/worker.kc", WORKER, &patched).unwrap();
+    let (pack, _) = create_update("busy", tree, &patch, &CreateOptions::default()).unwrap();
+    pack
+}
+
+/// Property 1 + 2: a parked occupant forces `NotQuiescent` and the
+/// abort is checksum-clean, at N = 1, 2, and 4.
+#[test]
+fn occupied_target_aborts_checksum_clean_at_every_n() {
+    for cpus in [1u32, 2, 4] {
+        let (mut kernel, tree) = boot(cpus);
+        let tid = kernel.spawn("worker_loop", &[]).unwrap();
+        kernel.run(500);
+        assert!(matches!(
+            kernel.thread(tid).unwrap().state,
+            ThreadState::Runnable | ThreadState::Sleeping(_)
+        ));
+
+        let pack = worker_patch(&tree);
+        let text_before = kernel.mem.text_checksum();
+        let opts = ApplyOptions {
+            retry: RetryPolicy::fixed(4, 200),
+            smp: SmpConfig::with_cpus(cpus),
+        };
+        let err = Ksplice::new()
+            .apply(&mut kernel, &pack, &opts)
+            .expect_err("a live occupant must abort the apply");
+        match err {
+            ApplyError::NotQuiescent { fn_name, .. } => {
+                assert_eq!(fn_name, "worker_loop", "cpus={cpus}")
+            }
+            other => panic!("cpus={cpus}: expected NotQuiescent, got {other}"),
+        }
+        assert_eq!(
+            kernel.mem.text_checksum(),
+            text_before,
+            "cpus={cpus}: abort must leave text untouched"
+        );
+        // The kernel still runs: the old function is intact.
+        assert_eq!(kernel.call_function("answer", &[]).unwrap(), 1);
+    }
+}
+
+/// Property 3, randomized: across seeds and vCPU counts, a single
+/// apply attempt against a drainable occupant either commits (new
+/// behavior observable) or aborts (old text bit-identical). Never a
+/// torn state.
+#[test]
+fn apply_is_atomic_under_every_interleaving() {
+    let mut commits = 0u32;
+    let mut aborts = 0u32;
+    for cpus in [1u32, 2, 4] {
+        for seed in 1..=8u64 {
+            let (mut kernel, tree) = boot(cpus);
+            if cpus > 1 {
+                kernel.configure_smp(SmpConfig::with_cpus(cpus).with_seed(seed));
+            }
+            // A worker that drains on its own: clear the flag after a
+            // seeded amount of progress so some schedules find the
+            // function busy and others find it quiescent.
+            kernel.spawn("worker_loop", &[]).unwrap();
+            kernel.run(200 + seed * 37);
+            if seed % 2 == 0 {
+                kernel.call_function("stop_worker", &[]).unwrap();
+            }
+            kernel.run(100);
+
+            let pack = worker_patch(&tree);
+            let text_before = kernel.mem.text_checksum();
+            let opts = ApplyOptions {
+                retry: RetryPolicy::fixed(1, 0),
+                smp: SmpConfig::with_cpus(cpus).with_seed(seed),
+            };
+            let mut ks = Ksplice::new();
+            match ks.apply_traced(
+                &mut kernel,
+                &pack,
+                &opts,
+                &mut ksplice_core::trace::Tracer::disabled(),
+            ) {
+                Ok(report) => {
+                    commits += 1;
+                    assert_eq!(report.sites, 1);
+                    assert_ne!(
+                        kernel.mem.text_checksum(),
+                        text_before,
+                        "cpus={cpus} seed={seed}: commit must install the trampoline"
+                    );
+                }
+                Err(ApplyError::NotQuiescent { .. }) => {
+                    aborts += 1;
+                    assert_eq!(
+                        kernel.mem.text_checksum(),
+                        text_before,
+                        "cpus={cpus} seed={seed}: abort must be checksum-clean"
+                    );
+                }
+                Err(other) => panic!("cpus={cpus} seed={seed}: unexpected error {other}"),
+            }
+            // Either way the kernel still executes code correctly.
+            assert_eq!(kernel.call_function("answer", &[]).unwrap(), 1);
+        }
+    }
+    // The sweep must have exercised both outcomes or it proves nothing.
+    assert!(aborts > 0, "no schedule ever found the worker busy");
+    assert!(commits > 0, "no schedule ever found the worker quiescent");
+}
+
+/// The §5.2 retry loop drains a parked-vCPU fault at N ≥ 2: the fault
+/// parks a real thread in the target for its windows, then the parker
+/// is released and the next attempt captures the machine.
+#[test]
+fn retry_drains_a_parked_vcpu() {
+    let (mut kernel, tree) = boot(4);
+    let pack = worker_patch(&tree);
+    kernel
+        .arm_fault(ksplice_kernel::Fault::parse("stack-busy:2").unwrap())
+        .unwrap();
+    let report = Ksplice::new()
+        .apply_traced(
+            &mut kernel,
+            &pack,
+            &ApplyOptions {
+                retry: RetryPolicy::fixed(5, 500),
+                smp: SmpConfig::with_cpus(4),
+            },
+            &mut ksplice_core::trace::Tracer::disabled(),
+        )
+        .expect("retries outlast the fault windows");
+    assert_eq!(report.attempts, 3, "two parked attempts, then success");
+    // The parked vCPU thread is gone once the fault released it.
+    assert!(kernel
+        .all_backtraces()
+        .iter()
+        .all(|(tid, _)| kernel.thread(*tid).is_some()));
+}

@@ -17,8 +17,8 @@
 
 use ksplice_core::trace::{RingSink, Tracer};
 use ksplice_core::{
-    ApplyOptions, BuildCache, HealthProbe, Ksplice, LifecycleError, RetryPolicy, UpdateManager,
-    UpdatePack, UpdateState, WatchPolicy,
+    ApplyOptions, BuildCache, HealthProbe, Ksplice, LifecycleError, RetryPolicy, SmpConfig,
+    UpdateManager, UpdatePack, UpdateState, WatchPolicy,
 };
 use ksplice_eval::{base_tree, corpus, Cve};
 use ksplice_kernel::{Fault, Kernel};
@@ -89,6 +89,16 @@ fn fixture() -> Fixture {
     Fixture { image, packs }
 }
 
+/// The SMP topology the suite runs under: `KSPLICE_SMP_CPUS` (CI's
+/// smoke matrix sets 1, 2, 4), defaulting to the uniprocessor. The §5
+/// clean-success / clean-abort contract must hold at every N.
+fn smp_from_env() -> SmpConfig {
+    match std::env::var("KSPLICE_SMP_CPUS") {
+        Ok(v) => SmpConfig::with_cpus(v.parse().unwrap_or(1)),
+        Err(_) => SmpConfig::default(),
+    }
+}
+
 /// One armed schedule, described for the summary table.
 struct Schedule {
     faults: Vec<Fault>,
@@ -135,6 +145,10 @@ fn run_schedule(
     schedule: &Schedule,
 ) -> (&'static str, u32) {
     let mut kernel = Kernel::boot_image(image).unwrap();
+    let smp = smp_from_env();
+    if smp.cpus > 1 {
+        kernel.configure_smp(smp.clone());
+    }
     kernel.faults.reseed(seed);
     for fault in &schedule.faults {
         // Arming can itself fail only for corrupt-text on an empty
@@ -150,7 +164,10 @@ fn run_schedule(
     let events = ring.handle();
     let mut tracer = Tracer::new().with_sink(Box::new(ring));
     let mut ks = Ksplice::new();
-    let opts = ApplyOptions::with_retry(schedule.policy.clone());
+    let opts = ApplyOptions {
+        retry: schedule.policy.clone(),
+        smp,
+    };
     match ks.apply_traced(&mut kernel, pack, &opts, &mut tracer) {
         Ok(report) => {
             // Clean success: the update is live and the kernel still
@@ -313,6 +330,10 @@ fn chaos_probe_fault_rolls_back_checksum_clean() {
     };
 
     let mut kernel = Kernel::boot_image(&fx.image).unwrap();
+    let smp = smp_from_env();
+    if smp.cpus > 1 {
+        kernel.configure_smp(smp);
+    }
     kernel.faults.reseed(99);
     kernel.arm_fault(Fault::ProbeFail { count: 1 }).unwrap();
     let text_before = kernel.mem.text_checksum();

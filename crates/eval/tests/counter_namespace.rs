@@ -31,6 +31,11 @@ const KNOWN_COUNTERS: &[&str] = &[
     "bench.fuzz_parallel_ms",
     "bench.fuzz_serial_ms",
     "bench.profile_ms",
+    "bench.smp_abort_permille",
+    "bench.smp_aborts",
+    "bench.smp_pause_steps",
+    "bench.smp_probes",
+    "bench.smp_sweep_ms",
     "bench.vm_block_hit_permille",
     "bench.vm_blocks_decoded",
     "bench.vm_blocks_evicted",

@@ -35,6 +35,10 @@
 //!   report failure regardless of what the probed kernel actually
 //!   returns, as if a canary regressed after apply. Forces the update
 //!   lifecycle manager's automatic-rollback path.
+//! * [`Fault::BarrierStall`] — the next *n* `try_stop_machine` barrier
+//!   rendezvous fail: a seed-chosen vCPU never checks in, as if an
+//!   interrupt-disabled spin kept it from the stop handler. Forces the
+//!   barrier-timeout abort path (retryable, like `NotQuiescent`).
 
 use std::fmt;
 
@@ -70,6 +74,12 @@ pub enum Fault {
         /// How many consecutive probes report failure.
         count: u32,
     },
+    /// Fail the next `count` `try_stop_machine` barrier rendezvous: a
+    /// seed-chosen vCPU never checks in.
+    BarrierStall {
+        /// How many consecutive rendezvous time out.
+        count: u32,
+    },
 }
 
 impl Fault {
@@ -80,6 +90,7 @@ impl Fault {
     /// * `corrupt-text` / `corrupt-text:0xADDR` — flip a text byte
     /// * `step-jitter:N` — jitter run budgets by up to ±N steps
     /// * `probe-fail:N` — fail the next N watch-window health probes
+    /// * `barrier-stall:N` — time out the next N stop_machine barriers
     pub fn parse(spec: &str) -> Result<Fault, String> {
         let (site, arg) = match spec.split_once(':') {
             Some((s, a)) => (s, Some(a)),
@@ -109,8 +120,11 @@ impl Fault {
             "probe-fail" => Ok(Fault::ProbeFail {
                 count: num("count")? as u32,
             }),
+            "barrier-stall" => Ok(Fault::BarrierStall {
+                count: num("count")? as u32,
+            }),
             other => Err(format!(
-                "unknown fault site `{other}` (expected stack-busy, module-load, corrupt-text, step-jitter or probe-fail)"
+                "unknown fault site `{other}` (expected stack-busy, module-load, corrupt-text, step-jitter, probe-fail or barrier-stall)"
             )),
         }
     }
@@ -125,6 +139,7 @@ impl fmt::Display for Fault {
             Fault::CorruptText { addr: None } => write!(f, "corrupt-text"),
             Fault::StepJitter { max_steps } => write!(f, "step-jitter:{max_steps}"),
             Fault::ProbeFail { count } => write!(f, "probe-fail:{count}"),
+            Fault::BarrierStall { count } => write!(f, "barrier-stall:{count}"),
         }
     }
 }
@@ -151,6 +166,7 @@ pub struct FaultPlan {
     module_load_failures: u32,
     step_jitter_max: u64,
     probe_failures: u32,
+    barrier_stalls: u32,
     fired: Vec<FiredFault>,
 }
 
@@ -169,6 +185,7 @@ impl FaultPlan {
             module_load_failures: 0,
             step_jitter_max: 0,
             probe_failures: 0,
+            barrier_stalls: 0,
             fired: Vec::new(),
         }
     }
@@ -185,6 +202,7 @@ impl FaultPlan {
             && self.module_load_failures == 0
             && self.step_jitter_max == 0
             && self.probe_failures == 0
+            && self.barrier_stalls == 0
     }
 
     /// Clears everything armed; the fired log survives.
@@ -193,6 +211,7 @@ impl FaultPlan {
         self.module_load_failures = 0;
         self.step_jitter_max = 0;
         self.probe_failures = 0;
+        self.barrier_stalls = 0;
     }
 
     /// Every fault that fired so far, in firing order.
@@ -225,6 +244,33 @@ impl FaultPlan {
 
     pub(crate) fn arm_probe_fail(&mut self, count: u32) {
         self.probe_failures += count;
+    }
+
+    pub(crate) fn arm_barrier_stall(&mut self, count: u32) {
+        self.barrier_stalls += count;
+    }
+
+    /// How many stack-busy windows remain armed. The kernel's physical
+    /// fault realization (`park_fault_vcpu`) uses this to decide when
+    /// to release its parked vCPU without burning a window.
+    pub fn stack_busy_pending(&self) -> u32 {
+        self.stack_busy_windows
+    }
+
+    /// Consulted by `Kernel::try_stop_machine` after the rendezvous.
+    /// Returns the seed-chosen vCPU (`0..ncpus`) that failed to check
+    /// in, burning one armed stall; `None` when nothing is armed.
+    pub fn barrier_stall(&mut self, ncpus: u32) -> Option<u32> {
+        if self.barrier_stalls == 0 {
+            return None;
+        }
+        self.barrier_stalls -= 1;
+        let cpu = (self.next() % ncpus.max(1) as u64) as u32;
+        self.fired.push(FiredFault {
+            site: "barrier-stall",
+            detail: format!("cpu{cpu}"),
+        });
+        Some(cpu)
     }
 
     /// Consulted by the update lifecycle manager before each health
@@ -325,6 +371,7 @@ mod tests {
             "corrupt-text",
             "step-jitter:500",
             "probe-fail:2",
+            "barrier-stall:1",
         ] {
             let f = Fault::parse(spec).unwrap();
             assert_eq!(f.to_string(), spec);
@@ -395,6 +442,25 @@ mod tests {
         let a_seq: Vec<u64> = (0..8).map(|_| a.jitter_budget(1_000)).collect();
         let c_seq: Vec<u64> = (0..8).map(|_| c.jitter_budget(1_000)).collect();
         assert_ne!(a_seq, c_seq);
+    }
+
+    #[test]
+    fn barrier_stalls_burn_and_pick_a_cpu() {
+        let mut plan = FaultPlan::new(7);
+        plan.arm_barrier_stall(2);
+        assert!(!plan.is_inert());
+        let a = plan.barrier_stall(4).unwrap();
+        let b = plan.barrier_stall(4).unwrap();
+        assert!(a < 4 && b < 4);
+        assert_eq!(plan.barrier_stall(4), None);
+        assert!(plan.is_inert());
+        assert_eq!(plan.fired().len(), 2);
+        assert_eq!(plan.fired()[0].site, "barrier-stall");
+        // Deterministic: same seed, same picks.
+        let mut again = FaultPlan::new(7);
+        again.arm_barrier_stall(2);
+        assert_eq!(again.barrier_stall(4), Some(a));
+        assert_eq!(again.barrier_stall(4), Some(b));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::kallsyms::Kallsyms;
 use crate::loader::{load_kernel_image, load_module, LinkError, LoadedModule};
 use crate::mem::{Memory, Perms};
 use crate::native::{native_addr, RETURN_SENTINEL};
+use crate::smp::{Cpu, SmpConfig, StopMachineError};
 
 /// Default per-thread kernel stack size (64 KiB).
 pub const STACK_SIZE: u64 = 64 * 1024;
@@ -49,6 +50,9 @@ pub enum ThreadState {
 pub struct Thread {
     /// Thread id, unique for the kernel's lifetime.
     pub tid: u64,
+    /// The vCPU this thread is homed on (0 on a uniprocessor kernel).
+    /// Assignment is round-robin by tid at spawn; threads never migrate.
+    pub cpu: u32,
     /// Entry-point name, for logs and backtraces.
     pub name: String,
     /// General-purpose registers; r14 is fp, r15 is sp.
@@ -123,11 +127,24 @@ pub struct Kernel {
     free_stacks: Vec<(u64, u64)>,
     /// Wall-clock duration of the most recent `stop_machine` call.
     pub last_stop_machine: Option<Duration>,
+    /// Simulated pause of the most recent `stop_machine`, in VM steps:
+    /// the barrier-rendezvous instructions (vCPUs finishing their
+    /// current quantum, N ≥ 2 only) plus whatever the stopped-machine
+    /// closure itself executed. Deterministic, unlike the wall clock.
+    pub last_stop_machine_steps: u64,
     /// Count of `stop_machine` invocations.
     pub stop_machine_count: u64,
-    /// Number of simulated CPUs (scheduling is still sequential; this
-    /// scales the simulated capture cost of `stop_machine`).
-    pub num_cpus: u32,
+    /// The SMP topology: vCPU count, quantum, scheduling seed. The
+    /// default (1 vCPU) is bit-exact with the historical sequential
+    /// scheduler; see [`Kernel::configure_smp`].
+    pub smp: SmpConfig,
+    /// The vCPUs, each with its own run queue (`smp.cpus` entries).
+    pub cpus: Vec<Cpu>,
+    /// Seeded state for the per-round rotation draw (`cpus > 1` only).
+    sched_rng: u64,
+    /// The physically parked fault thread realizing an armed stack-busy
+    /// fault at N ≥ 2 (see [`Kernel::park_fault_vcpu`]).
+    fault_parker: Option<u64>,
     /// Armed fault-injection state (inert by default; see [`FaultPlan`]).
     pub faults: FaultPlan,
     /// The PC-sampling profiler, armed by [`Kernel::start_sampling`]
@@ -149,6 +166,42 @@ impl Kernel {
     pub fn boot(tree: &SourceTree, opts: &Options) -> Result<Kernel, BootError> {
         let set = build_tree(tree, opts).map_err(BootError::Compile)?;
         Kernel::boot_image(&set)
+    }
+
+    /// Boots a prebuilt kernel image with an explicit SMP topology.
+    /// `boot_image_smp(set, &SmpConfig::default())` is identical to
+    /// [`Kernel::boot_image`].
+    pub fn boot_image_smp(set: &ObjectSet, smp: &SmpConfig) -> Result<Kernel, BootError> {
+        let mut k = Kernel::boot_image(set)?;
+        k.configure_smp(smp.clone());
+        Ok(k)
+    }
+
+    /// Reconfigures the SMP topology: rebuilds the per-CPU run queues
+    /// and re-homes every existing thread round-robin by tid. Typically
+    /// called right after boot, before workloads spawn; calling it on a
+    /// running kernel re-homes live threads deterministically. `cpus`
+    /// and `quantum` clamp to ≥ 1, and the scheduler rotation restarts
+    /// from `sched_seed`.
+    pub fn configure_smp(&mut self, mut smp: SmpConfig) {
+        smp.cpus = smp.cpus.max(1);
+        smp.quantum = smp.quantum.max(1);
+        self.sched_rng = smp.sched_seed.max(1);
+        self.cpus = (0..smp.cpus).map(Cpu::new).collect();
+        let n = smp.cpus as u64;
+        self.smp = smp;
+        for t in &mut self.threads {
+            t.cpu = ((t.tid - 1) % n) as u32;
+        }
+        let homed: Vec<(u64, u32)> = self.threads.iter().map(|t| (t.tid, t.cpu)).collect();
+        for (tid, cpu) in homed {
+            self.cpus[cpu as usize].runq.push_back(tid);
+        }
+    }
+
+    /// The number of vCPUs this kernel schedules across.
+    pub fn num_cpus(&self) -> u32 {
+        self.smp.cpus
     }
 
     /// Boots a prebuilt kernel image.
@@ -181,8 +234,12 @@ impl Kernel {
             syscall_entry,
             free_stacks: Vec::new(),
             last_stop_machine: None,
+            last_stop_machine_steps: 0,
             stop_machine_count: 0,
-            num_cpus: 4,
+            smp: SmpConfig::default(),
+            cpus: vec![Cpu::new(0)],
+            sched_rng: crate::smp::DEFAULT_SCHED_SEED,
+            fault_parker: None,
             faults: FaultPlan::default(),
             profiler: None,
             block_cache: crate::vm::AddrMap::default(),
@@ -233,8 +290,11 @@ impl Kernel {
             .map_err(|_| SpawnError::NoMemory)?;
         regs[15] = sp;
         regs[14] = high; // fp: sentinel frame
+        let cpu = ((tid - 1) % self.cpus.len() as u64) as u32;
+        self.cpus[cpu as usize].runq.push_back(tid);
         self.threads.push(Thread {
             tid,
+            cpu,
             name: name.to_string(),
             regs,
             ip: addr,
@@ -262,9 +322,25 @@ impl Kernel {
         self.threads.iter_mut().find(|t| t.tid == tid)
     }
 
-    /// Round-robin scheduler: runs up to `max_steps` instructions in
-    /// [`QUANTUM`]-sized slices across all runnable threads.
+    /// The preemptive scheduler: runs up to `max_steps` instructions in
+    /// quantum-sized slices. At one vCPU (the default) this is the
+    /// historical sequential round-robin, bit-exact; at `cpus > 1` it
+    /// is the interleaved SMP simulation of [`SmpConfig`] — each
+    /// scheduling round visits the vCPUs in a seeded rotation and runs
+    /// each vCPU's next runnable thread for one quantum.
     pub fn run(&mut self, max_steps: u64) -> RunExit {
+        if self.smp.cpus <= 1 {
+            self.run_uni(max_steps)
+        } else {
+            self.run_smp(max_steps)
+        }
+    }
+
+    /// The historical uniprocessor scheduler (`cpus == 1`): a plain
+    /// round-robin over all threads in spawn order. Kept verbatim so
+    /// every single-CPU artifact (fuzz digests, trace timestamps)
+    /// stays byte-identical.
+    fn run_uni(&mut self, max_steps: u64) -> RunExit {
         let mut budget = self.faults.jitter_budget(max_steps);
         loop {
             let mut progressed = false;
@@ -287,7 +363,7 @@ impl Kernel {
                     continue;
                 }
                 progressed = true;
-                let slice = QUANTUM.min(budget);
+                let slice = self.smp.quantum.min(budget);
                 let used = self.run_slice(tid, slice);
                 budget -= used;
                 if budget == 0 {
@@ -303,10 +379,111 @@ impl Kernel {
                 return RunExit::AllExited;
             }
             if !progressed {
-                // Only sleepers remain; advance time.
+                // Only sleepers remain; advance time — unless none of
+                // them can ever wake (a parked vCPU sleeps until
+                // `u64::MAX`), in which case ticking forever would
+                // never consume the budget.
+                if !self.any_finite_sleeper() {
+                    return RunExit::Budget;
+                }
                 continue;
             }
         }
+    }
+
+    /// Whether any live thread has a wake-up deadline that can
+    /// actually arrive. Threads parked by [`Kernel::park_fault_vcpu`]
+    /// sleep until `u64::MAX` and must not keep the tick loop alive.
+    fn any_finite_sleeper(&self) -> bool {
+        self.threads.iter().any(|t| {
+            matches!(t.state, ThreadState::Sleeping(until) if until < u64::MAX)
+        })
+    }
+
+    /// The interleaved SMP scheduler (`cpus > 1`). One host thread
+    /// plays every vCPU: each round starts from a seeded lead CPU and
+    /// gives each vCPU's next runnable thread one quantum, so the
+    /// global instruction interleaving is deterministic in
+    /// ([`SmpConfig::sched_seed`], workload) while still exhibiting the
+    /// cross-CPU overlap `stop_machine` has to fight.
+    fn run_smp(&mut self, max_steps: u64) -> RunExit {
+        let mut budget = self.faults.jitter_budget(max_steps);
+        let ncpus = self.cpus.len();
+        loop {
+            let mut progressed = false;
+            let lead = (self.sched_next() % ncpus as u64) as usize;
+            for i in 0..ncpus {
+                let cpu = (lead + i) % ncpus;
+                let Some(tid) = self.pick_next(cpu) else {
+                    continue;
+                };
+                progressed = true;
+                let slice = self.smp.quantum.min(budget);
+                let used = self.run_slice(tid, slice);
+                self.cpus[cpu].cycles += used;
+                budget = budget.saturating_sub(used);
+                if budget == 0 {
+                    return RunExit::Budget;
+                }
+            }
+            self.ticks += 1;
+            let any_alive = self
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, ThreadState::Runnable | ThreadState::Sleeping(_)));
+            if !any_alive {
+                return RunExit::AllExited;
+            }
+            if !progressed {
+                // Only sleepers remain; advance time (see run_uni for
+                // the forever-sleeper guard).
+                if !self.any_finite_sleeper() {
+                    return RunExit::Budget;
+                }
+                continue;
+            }
+        }
+    }
+
+    /// Rotates vCPU `cpu`'s run queue to its next runnable thread:
+    /// wakes due sleepers on the way, skips (but keeps) sleeping and
+    /// dead entries, drops tids whose thread no longer exists. The
+    /// chosen thread moves to the back of the queue — round-robin —
+    /// and becomes the vCPU's `current`.
+    fn pick_next(&mut self, cpu: usize) -> Option<u64> {
+        let len = self.cpus[cpu].runq.len();
+        for _ in 0..len {
+            let Some(tid) = self.cpus[cpu].runq.pop_front() else {
+                break;
+            };
+            let ticks = self.ticks;
+            let Some(t) = self.thread_mut(tid) else {
+                continue; // reaped elsewhere; drop the stale entry
+            };
+            if let ThreadState::Sleeping(until) = t.state {
+                if ticks >= until {
+                    t.state = ThreadState::Runnable;
+                }
+            }
+            let runnable = matches!(t.state, ThreadState::Runnable);
+            self.cpus[cpu].runq.push_back(tid);
+            if runnable {
+                self.cpus[cpu].current = Some(tid);
+                return Some(tid);
+            }
+        }
+        self.cpus[cpu].current = None;
+        None
+    }
+
+    /// xorshift64* draw for the scheduler rotation.
+    fn sched_next(&mut self) -> u64 {
+        let mut x = self.sched_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.sched_rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
     /// Runs a single thread synchronously until it exits, oopses, or the
@@ -396,6 +573,15 @@ impl Kernel {
             self.free_stacks.push(t.stack);
         }
         self.threads.retain(|t| t.tid != tid);
+        for c in &mut self.cpus {
+            c.runq.retain(|&t| t != tid);
+            if c.current == Some(tid) {
+                c.current = None;
+            }
+        }
+        if self.fault_parker == Some(tid) {
+            self.fault_parker = None;
+        }
     }
 
     /// Removes exited/oopsed threads and recycles their stacks.
@@ -416,19 +602,104 @@ impl Kernel {
     /// stopped (paper §5.2). Returns `f`'s result and records the pause
     /// duration, which [`Kernel::last_stop_machine`] exposes for the
     /// evaluation's "about 0.7 ms" measurement.
+    ///
+    /// This infallible form never consults the `barrier-stall` fault —
+    /// callers that need the failure path (the update pipeline) use
+    /// [`Kernel::try_stop_machine`].
     pub fn stop_machine<R>(&mut self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        match self.stop_machine_inner(f, false) {
+            Ok(r) => r,
+            Err(_) => unreachable!("no fault consulted ⇒ infallible"),
+        }
+    }
+
+    /// Fallible `stop_machine`: performs the barrier rendezvous at
+    /// N ≥ 2 (every vCPU's current thread runs up to one more quantum —
+    /// "finish what you're doing and park in the stop handler") before
+    /// running `f` on the captured machine. Fails with
+    /// [`StopMachineError::BarrierTimeout`] when an armed
+    /// `barrier-stall` fault makes a vCPU miss the rendezvous; the
+    /// machine is released untouched (`f` never runs, no text written).
+    pub fn try_stop_machine<R>(
+        &mut self,
+        f: impl FnOnce(&mut Kernel) -> R,
+    ) -> Result<R, StopMachineError> {
+        self.stop_machine_inner(f, true)
+            .map_err(|cpu| StopMachineError::BarrierTimeout { cpu })
+    }
+
+    /// Shared capture path. The error is the stalled cpu id; it can
+    /// only occur when `consult_faults` is true.
+    fn stop_machine_inner<R>(
+        &mut self,
+        f: impl FnOnce(&mut Kernel) -> R,
+        consult_faults: bool,
+    ) -> Result<R, u32> {
         let start = Instant::now();
-        // Capture: in the sequential simulation no other thread can run
-        // while `f` executes; we model the per-CPU rendezvous cost by
-        // spinning briefly per simulated CPU, as the real stop_machine
-        // busy-waits for every CPU to check in.
-        for _ in 0..self.num_cpus {
+        let steps_before = self.steps;
+        // Capture. On a uniprocessor (or for the historical infallible
+        // callers) no other thread can run while `f` executes; we model
+        // the per-CPU check-in cost by spinning briefly per vCPU, as
+        // the real stop_machine busy-waits for every CPU.
+        for _ in 0..self.smp.cpus {
             std::hint::black_box(0u64);
+        }
+        // Rendezvous (N ≥ 2): every vCPU finishes its current quantum
+        // before parking in the stop handler. These instructions are
+        // the simulated capture latency — and they genuinely move
+        // threads in and out of patch targets between retry attempts.
+        if self.smp.cpus > 1 {
+            let ncpus = self.cpus.len();
+            let lead = (self.sched_next() % ncpus as u64) as usize;
+            for i in 0..ncpus {
+                let cpu = (lead + i) % ncpus;
+                if let Some(tid) = self.pick_next(cpu) {
+                    let used = self.run_slice(tid, self.smp.quantum);
+                    self.cpus[cpu].cycles += used;
+                }
+            }
+        }
+        if consult_faults {
+            if let Some(cpu) = self.faults.barrier_stall(self.smp.cpus) {
+                // The stalled vCPU never checked in: release the
+                // machine without running `f`. The pause still counted.
+                self.last_stop_machine = Some(start.elapsed());
+                self.last_stop_machine_steps = self.steps - steps_before;
+                return Err(cpu);
+            }
         }
         let r = f(self);
         self.last_stop_machine = Some(start.elapsed());
+        self.last_stop_machine_steps = self.steps - steps_before;
         self.stop_machine_count += 1;
-        r
+        Ok(r)
+    }
+
+    /// Physically realizes an armed stack-busy fault at N ≥ 2: parks a
+    /// real vCPU thread at `addr` (the entry of the patch target), so
+    /// the §5.2 stack check finds a genuine instruction pointer inside
+    /// the function — no synthetic verdict involved. The parked thread
+    /// sleeps forever and is reaped when the fault's windows are
+    /// exhausted. Returns the parked tid while the fault is live.
+    pub fn park_fault_vcpu(&mut self, addr: u64) -> Option<u64> {
+        if self.faults.stack_busy_pending() == 0 {
+            // Windows exhausted: release the parked vCPU so the next
+            // capture attempt finds the machine quiescent.
+            if let Some(tid) = self.fault_parker.take() {
+                self.reap(tid);
+            }
+            return None;
+        }
+        if let Some(tid) = self.fault_parker {
+            return Some(tid);
+        }
+        let tid = self.spawn_at(addr, &[], "vcpu-parked").ok()?;
+        if let Some(t) = self.thread_mut(tid) {
+            // Parked: ip stays at the function entry, never scheduled.
+            t.state = ThreadState::Sleeping(u64::MAX);
+        }
+        self.fault_parker = Some(tid);
+        Some(tid)
     }
 
     /// The frame-pointer backtrace of a thread: current `ip`, then every
@@ -556,6 +827,10 @@ impl Kernel {
             }
             Fault::ProbeFail { count } => {
                 self.faults.arm_probe_fail(count);
+                Ok(None)
+            }
+            Fault::BarrierStall { count } => {
+                self.faults.arm_barrier_stall(count);
                 Ok(None)
             }
             Fault::CorruptText { addr } => {

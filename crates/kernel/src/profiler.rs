@@ -26,6 +26,8 @@ pub struct Sample {
     pub steps: u64,
     /// The thread that was running.
     pub tid: u64,
+    /// The vCPU the thread is homed on (0 on a uniprocessor kernel).
+    pub cpu: u32,
     /// Leaf-first stack: `stack[0]` is the instruction pointer, the rest
     /// are frame-pointer-chain return addresses.
     pub stack: Vec<u64>,
@@ -201,9 +203,15 @@ impl Kernel {
     /// Records one sample for `tid` (called from the step loop).
     pub(crate) fn record_sample(&mut self, tid: u64, steps: u64) {
         let Some(t) = self.thread(tid) else { return };
+        let cpu = t.cpu;
         let stack = self.thread_backtrace(t);
         if let Some(p) = self.profiler.as_mut() {
-            p.push(Sample { steps, tid, stack });
+            p.push(Sample {
+                steps,
+                tid,
+                cpu,
+                stack,
+            });
         }
     }
 
@@ -306,6 +314,21 @@ pub fn hot_functions(
             .then(a.residency.cmp(&b.residency))
     });
     out
+}
+
+/// Per-vCPU sample attribution: `counts[cpu]` is how many samples fired
+/// while a thread homed on that vCPU was running. The vector spans
+/// `0..=max cpu seen` (a uniprocessor profile yields one entry), so an
+/// idle vCPU in the middle of the range still gets its zero row.
+pub fn samples_per_cpu(samples: &[Sample]) -> Vec<u64> {
+    let Some(max_cpu) = samples.iter().map(|s| s.cpu).max() else {
+        return Vec::new();
+    };
+    let mut counts = vec![0u64; max_cpu as usize + 1];
+    for s in samples {
+        counts[s.cpu as usize] += 1;
+    }
+    counts
 }
 
 /// Renders samples as collapsed stacks (`root;...;leaf count` lines,
