@@ -1,0 +1,134 @@
+//! Fleet rollout throughput — updates/sec sustained across 10k+
+//! simulated kernels.
+//!
+//! The headline sweep drives one staged rollout (canary → geometric
+//! waves → fleet-wide commit) of the CVE-2006-2451 fix across a
+//! 10 000-node heterogeneous fleet (three base versions, per-version
+//! packs) over a lightly faulty transport, sharded across the worker
+//! pool. BENCH_fleet.json records:
+//!
+//! * `bench.fleet_nodes` / `bench.fleet_updates_committed` — fleet size
+//!   and commits (must match),
+//! * `bench.fleet_updates_per_sec` — sustained commit throughput,
+//! * `bench.fleet_ticks` / `bench.fleet_sweep_ms` — rollout length in
+//!   transport ticks and wall time,
+//! * a secondary loaded sweep (`bench.fleet_loaded_*`) with 2-vCPU
+//!   nodes running live workload threads, the satellite evidence that
+//!   waves run against loaded multi-CPU kernels,
+//! * every `fleet.*` rollout counter absorbed from the orchestrator.
+//!
+//! Criterion then times a small rollout end to end for the per-run cost.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_fleet::{
+    build_packset, Fleet, FleetConfig, NetFaults, Outcome, RolloutOrchestrator, RolloutPolicy,
+    SimTransport, VERSION_NAMES,
+};
+use ksplice_trace::Tracer;
+
+fn jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+/// One full rollout; returns (committed, ticks, wall seconds).
+fn rollout(cfg: FleetConfig, policy: RolloutPolicy, tracer: &mut Tracer) -> (u64, u64, f64) {
+    let mut fleet = Fleet::new(cfg).expect("fleet boots");
+    let packset = build_packset(
+        "cve-2006-2451",
+        VERSION_NAMES.len(),
+        &[],
+        fleet.context().cache(),
+    )
+    .expect("packset builds");
+    let faults = NetFaults::parse("drop:20,dup:10,delay:1..2").unwrap();
+    let mut transport = SimTransport::with_faults(0xbe9c_4001, faults);
+    let nodes = fleet.len() as u64;
+    let t = Instant::now();
+    let orch = RolloutOrchestrator::new(policy, packset, &fleet);
+    let report = orch.run(&mut fleet, &mut transport, tracer);
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.outcome, Outcome::Committed, "{}", report.render());
+    let committed: u64 = report.waves.iter().map(|w| w.committed as u64).sum();
+    assert_eq!(committed, nodes, "every node must commit\n{}", report.render());
+    (committed, report.ticks, secs)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut tracer = Tracer::new();
+
+    // Headline: 10k heterogeneous kernels, staged waves, light faults.
+    let (committed, ticks, secs) = rollout(
+        FleetConfig {
+            nodes: 10_000,
+            ..FleetConfig::default()
+        },
+        RolloutPolicy {
+            canary: 8,
+            growth: 8,
+            jobs: jobs(),
+            max_ticks: 100_000,
+            ..RolloutPolicy::default()
+        },
+        &mut tracer,
+    );
+    let ups = (committed as f64 / secs) as u64;
+    tracer.count("bench.fleet_nodes", committed);
+    tracer.count("bench.fleet_updates_committed", committed);
+    tracer.count("bench.fleet_updates_per_sec", ups);
+    tracer.count("bench.fleet_ticks", ticks);
+    tracer.count("bench.fleet_sweep_ms", (secs * 1e3) as u64);
+    println!("== fleet: {committed} kernels updated in {secs:.2}s ({ups} updates/sec) ==");
+
+    // Secondary: loaded multi-vCPU nodes — waves against kernels with
+    // live workload threads contending the quiescence checks.
+    let (loaded, loaded_ticks, loaded_secs) = rollout(
+        FleetConfig {
+            nodes: 192,
+            cpus: 2,
+            load_threads: 2,
+            ..FleetConfig::default()
+        },
+        RolloutPolicy {
+            jobs: jobs(),
+            ..RolloutPolicy::default()
+        },
+        &mut tracer,
+    );
+    let loaded_ups = (loaded as f64 / loaded_secs) as u64;
+    tracer.count("bench.fleet_loaded_nodes", loaded);
+    tracer.count("bench.fleet_loaded_updates_per_sec", loaded_ups);
+    tracer.count("bench.fleet_loaded_ticks", loaded_ticks);
+    tracer.count("bench.fleet_loaded_sweep_ms", (loaded_secs * 1e3) as u64);
+    println!(
+        "== fleet/loaded: {loaded} 2-vCPU kernels under load in {loaded_secs:.2}s ({loaded_ups} updates/sec) =="
+    );
+
+    std::fs::write("BENCH_fleet.json", tracer.metrics_json()).expect("write BENCH_fleet.json");
+
+    c.bench_function("fleet/rollout_48", |b| {
+        b.iter(|| {
+            rollout(
+                FleetConfig {
+                    nodes: 48,
+                    ..FleetConfig::default()
+                },
+                RolloutPolicy {
+                    jobs: jobs(),
+                    ..RolloutPolicy::default()
+                },
+                &mut Tracer::disabled(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

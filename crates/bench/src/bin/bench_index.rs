@@ -1,22 +1,24 @@
 //! `bench-index` — folds every `BENCH_*.json` metric dump in a
 //! directory into one versioned, schema-checked `BENCH_summary.json`.
 //!
-//! Usage: `bench-index [DIR] [--out PATH]`
+//! Usage: `bench-index [DIR] [--out PATH] [--require NAME]...`
 //!
 //! `DIR` defaults to the current directory (where `cargo bench` drops
 //! its dumps); the summary defaults to `DIR/BENCH_summary.json`. Exits
-//! nonzero when no dump is found or any dump fails validation, so a
-//! malformed bench artifact fails CI loudly.
+//! nonzero when no dump is found, any dump fails validation, or a
+//! `--require`d bench name is absent — so a malformed or silently
+//! missing bench artifact fails CI loudly.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ksplice_bench::index_bench_files;
+use ksplice_bench::{index_bench_files, require_benches};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir = PathBuf::from(".");
     let mut out: Option<PathBuf> = None;
+    let mut required: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,8 +30,16 @@ fn main() -> ExitCode {
                 out = Some(PathBuf::from(path));
                 i += 2;
             }
+            "--require" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("bench-index: --require needs a bench name");
+                    return ExitCode::FAILURE;
+                };
+                required.push(name.clone());
+                i += 2;
+            }
             "--help" | "-h" => {
-                println!("usage: bench-index [DIR] [--out PATH]");
+                println!("usage: bench-index [DIR] [--out PATH] [--require NAME]...");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -45,6 +55,10 @@ fn main() -> ExitCode {
     let out = out.unwrap_or_else(|| dir.join("BENCH_summary.json"));
     match index_bench_files(&dir) {
         Ok((summary, names)) => {
+            if let Err(e) = require_benches(&names, &required) {
+                eprintln!("bench-index: {e}");
+                return ExitCode::FAILURE;
+            }
             if let Err(e) = std::fs::write(&out, &summary) {
                 eprintln!("bench-index: {}: {e}", out.display());
                 return ExitCode::FAILURE;

@@ -104,6 +104,26 @@ pub fn index_bench_files(dir: &Path) -> Result<(String, Vec<String>), String> {
     Ok((s, names))
 }
 
+/// Checks that every required bench name is present among the indexed
+/// ones — `bench-index --require fleet` fails CI when a bench silently
+/// stopped producing its dump instead of shipping a summary without it.
+pub fn require_benches(names: &[String], required: &[String]) -> Result<(), String> {
+    let missing: Vec<&str> = required
+        .iter()
+        .filter(|r| !names.iter().any(|n| n == *r))
+        .map(String::as_str)
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "required bench dump(s) missing: {} (have: {})",
+            missing.join(", "),
+            names.join(", ")
+        ))
+    }
+}
+
 /// Validates a `BENCH_summary.json` document: version, schema tag, and
 /// a non-empty `benches` table whose entries each pass the per-dump
 /// schema check.
@@ -199,6 +219,15 @@ mod tests {
             .and_then(JsonValue::as_u64);
         assert_eq!(ms, Some(41));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn required_benches_are_enforced() {
+        let names = vec!["fleet".to_string(), "smp".to_string()];
+        require_benches(&names, &["fleet".to_string()]).unwrap();
+        require_benches(&names, &[]).unwrap();
+        let err = require_benches(&names, &["vm".to_string()]).unwrap_err();
+        assert!(err.contains("vm") && err.contains("fleet, smp"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,10 @@ use ksplice_core::{
     SmpConfig, UpdateManager, UpdatePack, WatchPolicy,
 };
 use ksplice_eval::{base_tree, corpus, quiescence_correlation, run_exploit, run_profile, ProfileConfig};
+use ksplice_fleet::{
+    build_packset, Fleet, FleetConfig, NetFaults, Outcome, Partition, RolloutOrchestrator,
+    RolloutPolicy, SimTransport, VERSION_NAMES,
+};
 use ksplice_kernel::{Fault, Kernel};
 use ksplice_lang::{Options, SourceTree};
 
@@ -78,12 +82,13 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..], &mut tracer),
         Some("profile") => cmd_profile(&args[1..], &mut tracer),
         Some("fuzz") => cmd_fuzz(&args[1..], &mut tracer),
+        Some("fleet") => cmd_fleet(&args[1..], &mut tracer),
         Some("status") => cmd_status(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|status|list|report> [options]\n\
+                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|fleet|status|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>] [--retry-policy <spec>] [--cpus <n>] [--fault <site>]...\
@@ -93,6 +98,11 @@ fn main() -> ExitCode {
                  \n          [--seed <n>] [--flame <file>] [--json] [--correlate]\
                  \n  fuzz    [--seed <n>] [--mutants <n>] [--workload syscalls|stress|both]\
                  \n          [--jobs <n>] [--emit <dir>] [--replay <dir>]\
+                 \n  fleet   [--nodes <n>] [--versions <n>] [--cpus <n>] [--load <threads>]\
+                 \n          [--canary <n>] [--growth <n>] [--halt-per-mille <n>] [--jobs <n>]\
+                 \n          [--seed <n>] [--transport-seed <n>] [--max-ticks <n>] [--resident]\
+                 \n          [--faults drop:PM,dup:PM,corrupt:PM,delay:MIN..MAX]\
+                 \n          [--partition FIRST..LAST@FROM..HEAL]... [--poison-version <v>]...\
                  \n  status  [--cve <id>]... [--undo <id>] [--cpus <n>] [--watch-rounds <n>] [--probe <spec>]...\
                  \n  list\
                  \n  report  <trace.jsonl> [--spans] [--timeline <file>]\
@@ -633,6 +643,120 @@ fn cmd_fuzz(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
             report.failures.len(),
             report.panics
         ))
+    }
+}
+
+/// `ksplice fleet`: a staged, canary-gated rollout across a simulated
+/// fleet of heterogeneous kernels over a fault-injectable transport —
+/// the Uptrack-style mass-deployment story in one command.
+fn cmd_fleet(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
+    let parse_u32 = |name: &str| -> Result<Option<u32>, String> {
+        flag_value(args, name)
+            .map(|s| s.parse().map_err(|_| format!("bad {name} value `{s}`")))
+            .transpose()
+    };
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        flag_value(args, name)
+            .map(|s| s.parse().map_err(|_| format!("bad {name} value `{s}`")))
+            .transpose()
+    };
+
+    let mut cfg = FleetConfig::default();
+    if let Some(n) = parse_u32("--nodes")? {
+        cfg.nodes = n;
+    }
+    if let Some(n) = parse_u32("--versions")? {
+        cfg.versions = n as usize;
+    }
+    if let Some(n) = parse_u32("--cpus")? {
+        cfg.cpus = n;
+    }
+    if let Some(n) = parse_u32("--load")? {
+        cfg.load_threads = n;
+    }
+    if let Some(n) = parse_u64("--seed")? {
+        cfg.seed = n;
+    }
+    cfg.resident = args.iter().any(|a| a == "--resident");
+    let versions = cfg.versions.clamp(1, VERSION_NAMES.len());
+
+    let mut policy = RolloutPolicy {
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1).max(1))
+            .unwrap_or(4),
+        ..RolloutPolicy::default()
+    };
+    if let Some(n) = parse_u32("--canary")? {
+        policy.canary = n;
+    }
+    if let Some(n) = parse_u32("--growth")? {
+        policy.growth = n;
+    }
+    if let Some(n) = parse_u32("--halt-per-mille")? {
+        policy.halt_per_mille = n;
+    }
+    if let Some(n) = parse_u64("--max-ticks")? {
+        policy.max_ticks = n;
+    }
+    if let Some(n) = parse_u32("--jobs")? {
+        if n == 0 {
+            return Err("bad --jobs value `0`".to_string());
+        }
+        policy.jobs = n as usize;
+    }
+
+    let update = flag_value(args, "--update").unwrap_or("cve-2006-2451");
+    let poison: Vec<usize> = flag_values(args, "--poison-version")
+        .into_iter()
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&v| v < versions)
+                .ok_or_else(|| format!("bad --poison-version `{s}` (fleet has {versions})"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let transport_seed = parse_u64("--transport-seed")?.unwrap_or(0xf1ee_cafe);
+    let mut transport = match flag_value(args, "--faults") {
+        Some(spec) => SimTransport::with_faults(transport_seed, NetFaults::parse(spec)?),
+        None => SimTransport::new(transport_seed),
+    };
+    for spec in flag_values(args, "--partition") {
+        transport.add_partition(Partition::parse(spec)?);
+    }
+
+    note(
+        tracer,
+        "cli.fleet_boot",
+        format!(
+            "building a {}-node fleet across {} base version(s)...",
+            cfg.nodes, versions
+        ),
+    );
+    let mut fleet = Fleet::new(cfg)?;
+    let packset = build_packset(update, versions, &poison, fleet.context().cache())?;
+    note(
+        tracer,
+        "cli.fleet_rollout",
+        format!(
+            "rolling out `{update}` in staged waves (canary {}, growth x{})...",
+            policy.canary, policy.growth
+        ),
+    );
+    let orch = RolloutOrchestrator::new(policy, packset, &fleet);
+    let report = orch.run(&mut fleet, &mut transport, tracer);
+    print!("{}", report.render());
+    match report.outcome {
+        Outcome::Committed => Ok(()),
+        Outcome::Contained => Err(format!(
+            "rollout halted at wave {} and rolled back ({} node(s) restored)",
+            report.halted_wave.unwrap_or(0),
+            report.rolled_back
+        )),
+        Outcome::Exhausted => Err(format!(
+            "rollout did not converge within {} tick(s)",
+            report.ticks
+        )),
     }
 }
 

@@ -25,6 +25,15 @@ const KNOWN_COUNTERS: &[&str] = &[
     "bench.eval_jobs",
     "bench.eval_parallel_ms",
     "bench.eval_serial_ms",
+    "bench.fleet_loaded_nodes",
+    "bench.fleet_loaded_sweep_ms",
+    "bench.fleet_loaded_ticks",
+    "bench.fleet_loaded_updates_per_sec",
+    "bench.fleet_nodes",
+    "bench.fleet_sweep_ms",
+    "bench.fleet_ticks",
+    "bench.fleet_updates_committed",
+    "bench.fleet_updates_per_sec",
     "bench.fuzz_jobs",
     "bench.fuzz_mutants",
     "bench.fuzz_mutants_per_sec",
@@ -50,6 +59,26 @@ const KNOWN_COUNTERS: &[&str] = &[
     "differ.fns_changed",
     "differ.units_changed",
     "eval.cases_run",
+    "fleet.msgs_corrupted",
+    "fleet.msgs_delivered",
+    "fleet.msgs_dropped",
+    "fleet.msgs_duplicated",
+    "fleet.msgs_healed",
+    "fleet.msgs_parked",
+    "fleet.msgs_sent",
+    "fleet.nodes_committed",
+    "fleet.nodes_failed",
+    "fleet.nodes_quarantined",
+    "fleet.nodes_rolled_back",
+    "fleet.packs_rejected",
+    "fleet.packs_sent",
+    "fleet.reports_received",
+    "fleet.resends_sent",
+    "fleet.rollbacks_sent",
+    "fleet.rollbacks_verified",
+    "fleet.stragglers_converged",
+    "fleet.waves_halted",
+    "fleet.waves_launched",
     "profile.aborts_observed",
     "profile.functions_migrated",
     "profile.samples_recorded",
@@ -75,7 +104,7 @@ const KNOWN_COUNTERS: &[&str] = &[
 /// Stage prefixes a counter may start with.
 const STAGE_PREFIXES: &[&str] = &[
     "create", "differ", "runpre", "apply", "watch", "undo", "stream", "build", "eval", "fuzz",
-    "bench", "profile", "vm",
+    "bench", "profile", "vm", "fleet",
 ];
 
 /// `stage.noun_verb` — lowercase segments, an underscore in the tail,

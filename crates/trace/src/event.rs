@@ -34,11 +34,14 @@ pub enum Stage {
     Bench,
     /// Randomized patch campaigns and the differential oracle.
     Fuzz,
+    /// Fleet-scale rollout: wave orchestration, pack transport, node
+    /// contact and mass rollback.
+    Fleet,
 }
 
 impl Stage {
     /// Every stage, in taxonomy order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Create,
         Stage::Differ,
         Stage::RunPre,
@@ -49,6 +52,7 @@ impl Stage {
         Stage::Cli,
         Stage::Bench,
         Stage::Fuzz,
+        Stage::Fleet,
     ];
 
     /// The lowercase wire name (`"apply"`, `"runpre"`, …).
@@ -64,6 +68,7 @@ impl Stage {
             Stage::Cli => "cli",
             Stage::Bench => "bench",
             Stage::Fuzz => "fuzz",
+            Stage::Fleet => "fleet",
         }
     }
 
