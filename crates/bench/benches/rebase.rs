@@ -1,0 +1,82 @@
+//! The drift-rebase matrix — the paper's 56/64 table taken one axis
+//! deeper (64 CVEs × drift levels D1–D4).
+//!
+//! The headline sweep runs the full matrix and BENCH_rebase.json
+//! records:
+//!
+//! * `bench.rebase_cells` / `bench.rebase_auto_ported` — matrix size
+//!   and auto-port successes,
+//! * `bench.rebase_auto_pct_d1` .. `_d4` — per-level auto-port rate
+//!   (percent, integer-truncated),
+//! * `bench.rebase_reused` — cells where the *original* pack still
+//!   run-pre-matched the drifted kernel and needed no source work,
+//! * `bench.rebase_misports` — ground-truth violations (must be 0),
+//! * `bench.rebase_sweep_ms` — wall time for the whole matrix,
+//! * every `rebase.*` pipeline counter absorbed from the workers
+//!   (reuse attempts, hunks ported per strategy ladder, learned
+//!   renames/moves, verdict counts).
+//!
+//! Criterion then times a single-CVE single-level rebase end to end.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksplice_core::RebaseStatus;
+use ksplice_eval::{run_rebase_matrix, RebaseMatrixConfig};
+use ksplice_lang::DriftLevel;
+use ksplice_trace::Tracer;
+
+fn bench(c: &mut Criterion) {
+    let mut tracer = Tracer::new();
+
+    let cfg = RebaseMatrixConfig::default();
+    let t = Instant::now();
+    let matrix = run_rebase_matrix(&cfg, &mut tracer).expect("matrix runs");
+    let secs = t.elapsed().as_secs_f64();
+
+    let auto_ported = matrix
+        .cells
+        .iter()
+        .filter(|cell| cell.status == RebaseStatus::AutoPorted)
+        .count() as u64;
+    let reused = matrix.cells.iter().filter(|cell| cell.reused).count() as u64;
+    assert!(matrix.misports().is_empty(), "{}", matrix.render());
+    assert!(matrix.unclassified().is_empty(), "{}", matrix.render());
+
+    tracer.count("bench.rebase_cells", matrix.cells.len() as u64);
+    tracer.count("bench.rebase_auto_ported", auto_ported);
+    tracer.count("bench.rebase_reused", reused);
+    tracer.count("bench.rebase_misports", matrix.misports().len() as u64);
+    for &level in &matrix.levels {
+        let key = format!("bench.rebase_auto_pct_{}", level.name().to_lowercase());
+        tracer.count(&key, matrix.auto_port_rate(level) as u64);
+    }
+    tracer.count("bench.rebase_sweep_ms", (secs * 1e3) as u64);
+    println!(
+        "== rebase: {auto_ported}/{} cells auto-ported in {secs:.2}s (D1 {:.1}%, D4 {:.1}%) ==",
+        matrix.cells.len(),
+        matrix.auto_port_rate(DriftLevel::D1),
+        matrix.auto_port_rate(DriftLevel::D4),
+    );
+
+    std::fs::write("BENCH_rebase.json", tracer.metrics_json()).expect("write BENCH_rebase.json");
+
+    c.bench_function("rebase/one_cve_d2", |b| {
+        b.iter(|| {
+            let cfg = RebaseMatrixConfig {
+                cve_limit: 1,
+                levels: vec![DriftLevel::D2],
+                jobs: 1,
+                ..RebaseMatrixConfig::default()
+            };
+            run_rebase_matrix(&cfg, &mut Tracer::disabled()).expect("cell runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -82,13 +82,14 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..], &mut tracer),
         Some("profile") => cmd_profile(&args[1..], &mut tracer),
         Some("fuzz") => cmd_fuzz(&args[1..], &mut tracer),
+        Some("rebase") => cmd_rebase(&args[1..], &mut tracer),
         Some("fleet") => cmd_fleet(&args[1..], &mut tracer),
         Some("status") => cmd_status(&args[1..], &mut tracer),
         Some("list") => cmd_list(),
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|fleet|status|list|report> [options]\n\
+                "usage: ksplice [--trace <file>] [--verbose|--quiet] <create|inspect|demo|eval|profile|fuzz|rebase|fleet|status|list|report> [options]\n\
                  \n  create  --tree <dir> --patch <file> --id <name> [--accept-data-changes] [--out <file>]\
                  \n  inspect <pack.kupd>\
                  \n  demo    [--cve <id>] [--retry-policy <spec>] [--cpus <n>] [--fault <site>]...\
@@ -97,7 +98,9 @@ fn main() -> ExitCode {
                  \n  profile [--cve <id>] [--interval <steps>] [--samples <n>] [--rounds <n>]\
                  \n          [--seed <n>] [--flame <file>] [--json] [--correlate]\
                  \n  fuzz    [--seed <n>] [--mutants <n>] [--workload syscalls|stress|both]\
-                 \n          [--jobs <n>] [--emit <dir>] [--replay <dir>]\
+                 \n          [--jobs <n>] [--cpus <n>] [--emit <dir>] [--replay <dir>]\
+                 \n  rebase  [--seed <n>] [--levels D1,D2,...] [--cves <n>] [--jobs <n>]\
+                 \n          [--json] [--out <file>]\
                  \n  fleet   [--nodes <n>] [--versions <n>] [--cpus <n>] [--load <threads>]\
                  \n          [--canary <n>] [--growth <n>] [--halt-per-mille <n>] [--jobs <n>]\
                  \n          [--seed <n>] [--transport-seed <n>] [--max-ticks <n>] [--resident]\
@@ -600,6 +603,12 @@ fn cmd_fuzz(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
         cfg.workload = ksplice_eval::Workload::parse(s)
             .ok_or("bad --workload: expected syscalls|stress|both")?;
     }
+    if let Some(s) = flag_value(args, "--cpus") {
+        cfg.cpus = s.parse().map_err(|_| "bad --cpus value".to_string())?;
+        if cfg.cpus == 0 {
+            return Err("bad --cpus value".to_string());
+        }
+    }
 
     if let Some(dir) = flag_value(args, "--replay") {
         let cases = ksplice_eval::load_regression_dir(Path::new(dir))?;
@@ -644,6 +653,56 @@ fn cmd_fuzz(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
             report.panics
         ))
     }
+}
+
+/// `ksplice rebase`: the drift matrix — port every corpus update onto
+/// seeded-drift variants of the base tree and report auto-port success
+/// per drift level and mutator class.
+fn cmd_rebase(args: &[String], tracer: &mut Tracer) -> Result<(), String> {
+    let mut cfg = ksplice_eval::RebaseMatrixConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--levels") {
+        cfg.levels = s
+            .split(',')
+            .map(|l| {
+                ksplice_lang::DriftLevel::parse(l)
+                    .ok_or_else(|| format!("bad --levels entry `{l}` (expected D1..D4)"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if cfg.levels.is_empty() {
+            return Err("bad --levels: empty list".to_string());
+        }
+    }
+    if let Some(s) = flag_value(args, "--cves") {
+        cfg.cve_limit = s.parse().map_err(|_| "bad --cves value".to_string())?;
+    }
+    if let Some(s) = flag_value(args, "--jobs") {
+        cfg.jobs = s.parse().map_err(|_| "bad --jobs value".to_string())?;
+        if cfg.jobs == 0 {
+            return Err("bad --jobs value".to_string());
+        }
+    }
+    let matrix = ksplice_eval::run_rebase_matrix(&cfg, tracer)?;
+    let text = if args.iter().any(|a| a == "--json") {
+        matrix.to_json()
+    } else {
+        matrix.render()
+    };
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    } else {
+        print!("{text}");
+    }
+    let misports = matrix.misports().len();
+    let unclassified = matrix.unclassified().len();
+    if misports > 0 || unclassified > 0 {
+        return Err(format!(
+            "{misports} ground-truth violation(s), {unclassified} unclassified cell(s)"
+        ));
+    }
+    Ok(())
 }
 
 /// `ksplice fleet`: a staged, canary-gated rollout across a simulated

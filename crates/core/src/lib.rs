@@ -60,6 +60,7 @@ pub mod create;
 pub mod differ;
 pub mod manager;
 pub mod package;
+pub mod rebase;
 pub mod retry;
 pub mod runpre;
 pub mod stream;
@@ -84,6 +85,10 @@ pub use differ::{
     diff_builds, diff_builds_traced, diff_unit, BuildDiff, DataChange, DataChangeKind, UnitDiff,
 };
 pub use package::{build_packs, extract_primary, UnitPack, UpdatePack};
+pub use rebase::{
+    rebase_update, shape_similarity, FuzzyMatch, HunkPort, RebaseOptions, RebaseReport,
+    RebaseStatus,
+};
 pub use runpre::{
     match_function, match_function_traced, match_unit, match_unit_traced, FnMatch, MatchError,
     UnitMatch,

@@ -34,7 +34,8 @@ use ksplice_core::{
     Ksplice, Tracer, UndoError,
 };
 use ksplice_kernel::{
-    diff_images, diff_traces, normalize_call, traced_call, DiffOptions, Kernel, TraceEntry,
+    diff_images, diff_traces, normalize_call, traced_call, DiffOptions, Kernel, SmpConfig,
+    TraceEntry,
 };
 use ksplice_lang::{
     apply_mutation, build_tree_cached, generate_mutant, parse_unit, pretty_unit, FuzzRng, Mutation,
@@ -109,6 +110,11 @@ pub struct FuzzConfig {
     /// the interactive default: a mutant that loops forever should cost
     /// milliseconds, and both kernels hit the same limit deterministically.
     pub call_limit: u64,
+    /// vCPU count for every kernel in the differential harness (the
+    /// reference, calibration and subject all run the same topology, so
+    /// the oracle compares like with like). 1 = the historical
+    /// uniprocessor campaign, byte-identical to before the knob existed.
+    pub cpus: u32,
 }
 
 impl Default for FuzzConfig {
@@ -120,6 +126,7 @@ impl Default for FuzzConfig {
             max_mutations: 3,
             workload: Workload::Syscalls,
             call_limit: 2_000_000,
+            cpus: 1,
         }
     }
 }
@@ -485,6 +492,7 @@ pub struct FuzzContext {
     sweep: Vec<(String, Vec<u64>)>,
     workload: Workload,
     call_limit: u64,
+    cpus: u32,
 }
 
 const SWEEP_CAP: usize = 48;
@@ -538,18 +546,35 @@ impl FuzzContext {
             })
             .collect();
 
+        // N > 1 threads the vCPU topology through the stop_machine path
+        // of every apply/undo; the default stays on the historical
+        // uniprocessor options so N = 1 campaigns are byte-identical.
+        let apply_opts = if cfg.cpus > 1 {
+            ApplyOptions::with_smp(SmpConfig::with_cpus(cfg.cpus))
+        } else {
+            ApplyOptions::default()
+        };
         Ok(FuzzContext {
             canon,
             units,
             pre_image,
             cache,
-            apply_opts: ApplyOptions::default(),
+            apply_opts,
             diff_opts: DiffOptions::default(),
             prctl,
             sweep,
             workload: cfg.workload,
             call_limit: cfg.call_limit,
+            cpus: cfg.cpus,
         })
+    }
+
+    /// Applies the campaign vCPU topology to a freshly booted kernel,
+    /// gated on N > 1 so uniprocessor campaigns never re-home threads.
+    fn configure_kernel(&self, kernel: &mut Kernel) {
+        if self.cpus > 1 {
+            kernel.configure_smp(SmpConfig::with_cpus(self.cpus));
+        }
     }
 
     /// The mutable `.kc` unit paths, in canonical order.
@@ -679,6 +704,7 @@ impl FuzzContext {
                 }
             }
         };
+        self.configure_kernel(&mut reference);
         let mut calib = match Kernel::boot_image(&calib_image) {
             Ok(k) => k,
             Err(e) => {
@@ -688,6 +714,7 @@ impl FuzzContext {
                 }
             }
         };
+        self.configure_kernel(&mut calib);
 
         // Stage 3: the subject kernel, hot-patched from pre.
         let mut subject = match Kernel::boot_image(&self.pre_image) {
@@ -698,6 +725,7 @@ impl FuzzContext {
                 }
             }
         };
+        self.configure_kernel(&mut subject);
 
         // Both kernels load the stress module *before* the subject is
         // patched, mirroring live operation (the workload exists first,

@@ -8,6 +8,7 @@ pub mod exploits;
 pub mod fuzz;
 pub mod lifecycle;
 pub mod profile;
+pub mod rebase;
 pub mod smp;
 pub mod stats;
 pub mod stress;
@@ -31,6 +32,7 @@ pub use profile::{
     quiescence_correlation, run_profile, ProfileConfig, ProfilePhase, ProfileReport,
     QuiesceCorrelation, TargetAborts, QUIESCE_TARGET_CVES,
 };
+pub use rebase::{run_rebase_matrix, RebaseCell, RebaseMatrix, RebaseMatrixConfig};
 pub use smp::{run_quiescence_load, LoadRow, QuiescenceReport, SmpLoadConfig};
 pub use stress::{load_stress, run_stress, spawn_stress, STRESS_SRC};
 pub use tree::{base_tree, BASE_FILES};

@@ -40,6 +40,15 @@ const KNOWN_COUNTERS: &[&str] = &[
     "bench.fuzz_parallel_ms",
     "bench.fuzz_serial_ms",
     "bench.profile_ms",
+    "bench.rebase_auto_pct_d1",
+    "bench.rebase_auto_pct_d2",
+    "bench.rebase_auto_pct_d3",
+    "bench.rebase_auto_pct_d4",
+    "bench.rebase_auto_ported",
+    "bench.rebase_cells",
+    "bench.rebase_misports",
+    "bench.rebase_reused",
+    "bench.rebase_sweep_ms",
     "bench.smp_abort_permille",
     "bench.smp_aborts",
     "bench.smp_pause_steps",
@@ -82,6 +91,15 @@ const KNOWN_COUNTERS: &[&str] = &[
     "profile.aborts_observed",
     "profile.functions_migrated",
     "profile.samples_recorded",
+    "rebase.auto_ported",
+    "rebase.hunks_failed",
+    "rebase.hunks_ported",
+    "rebase.manual_needed",
+    "rebase.moves_learned",
+    "rebase.packs_reused",
+    "rebase.renames_learned",
+    "rebase.reuse_attempts",
+    "rebase.updates_rejected",
     "runpre.bytes_matched",
     "runpre.nops_skipped",
     "runpre.pcrel_checks",
@@ -104,7 +122,7 @@ const KNOWN_COUNTERS: &[&str] = &[
 /// Stage prefixes a counter may start with.
 const STAGE_PREFIXES: &[&str] = &[
     "create", "differ", "runpre", "apply", "watch", "undo", "stream", "build", "eval", "fuzz",
-    "bench", "profile", "vm", "fleet",
+    "bench", "profile", "vm", "fleet", "rebase",
 ];
 
 /// `stage.noun_verb` — lowercase segments, an underscore in the tail,

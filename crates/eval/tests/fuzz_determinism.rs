@@ -49,3 +49,48 @@ fn campaign_is_job_count_invariant_and_matches_old_interpreter() {
         serial.render()
     );
 }
+
+/// The differential oracle now covers N ∈ {1, 2} vCPU schedules. The
+/// N = 2 campaign must be deterministic in its own right, and the N = 1
+/// smoke digest must stay pinned to the historical uniprocessor value —
+/// the `cpus` knob may not perturb campaigns that do not turn it.
+#[test]
+fn campaign_covers_smp_schedules() {
+    let smp_config = |jobs: usize| FuzzConfig {
+        seed: 1,
+        mutants: 40,
+        jobs,
+        workload: Workload::Both,
+        cpus: 2,
+        ..FuzzConfig::default()
+    };
+    let a = run_campaign(&smp_config(1), &mut Tracer::disabled()).expect("2-vCPU campaign");
+    let b = run_campaign(&smp_config(4), &mut Tracer::disabled()).expect("2-vCPU campaign");
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "2-vCPU campaign differs between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(a.digest, b.digest);
+
+    // N = 1 explicit must equal N = 1 default: the knob's off position
+    // is byte-identical to the pre-knob fuzzer.
+    let up = FuzzConfig {
+        seed: 1,
+        mutants: 40,
+        jobs: 4,
+        workload: Workload::Both,
+        cpus: 1,
+        ..FuzzConfig::default()
+    };
+    let default_cpus = FuzzConfig {
+        seed: 1,
+        mutants: 40,
+        jobs: 4,
+        workload: Workload::Both,
+        ..FuzzConfig::default()
+    };
+    let u = run_campaign(&up, &mut Tracer::disabled()).expect("1-vCPU campaign");
+    let d = run_campaign(&default_cpus, &mut Tracer::disabled()).expect("default campaign");
+    assert_eq!(u.digest, d.digest);
+}

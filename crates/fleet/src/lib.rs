@@ -23,8 +23,8 @@ pub mod orchestrator;
 pub mod transport;
 
 pub use node::{
-    build_packset, default_canaries, version_tree, Fleet, FleetConfig, FleetContext, FleetNode,
-    PackSet, VERSION_NAMES,
+    build_packset, default_canaries, patched_tree, version_tree, Fleet, FleetConfig, FleetContext,
+    FleetNode, PackSet, VERSION_NAMES,
 };
 pub use orchestrator::{Outcome, RolloutOrchestrator, RolloutPolicy, RolloutReport, WaveRow};
 pub use transport::{

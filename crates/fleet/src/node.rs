@@ -92,7 +92,11 @@ pub fn default_canaries() -> Vec<String> {
 /// the `sys_prctl` debug hook (the CVE-2006-2451 fix). A poisoned build
 /// additionally breaks `PR_SET_DUMPABLE`'s range check so valid calls
 /// return `-EINVAL` — safe-looking, canary-fatal.
-fn patched_tree(pre: &SourceTree, poison: bool) -> SourceTree {
+///
+/// Public so drift-rebase tests can recover the update's patch text
+/// (`diff_trees(&pre, &patched_tree(&pre, false))`) and re-port it onto
+/// a drifted stratum with `ksplice_core::rebase_update`.
+pub fn patched_tree(pre: &SourceTree, poison: bool) -> SourceTree {
     let src = pre.get("kernel/sys.kc").expect("kernel/sys.kc");
     let mut post = src.replace(PRCTL_HOOK, "");
     assert_ne!(post, src, "prctl hook anchor moved");
@@ -120,6 +124,21 @@ pub struct PackSet {
 }
 
 impl PackSet {
+    /// Assembles a packset from pre-serialized per-version packs — the
+    /// Uptrack build-server path where some strata get packs produced by
+    /// `ksplice_core::rebase_update` against their drifted trees instead
+    /// of a fresh same-tree build. Checksums are computed here.
+    pub fn from_packs(update_id: &str, canaries: Vec<String>, packs: Vec<Vec<u8>>) -> Self {
+        assert!(!packs.is_empty(), "a packset needs at least one pack");
+        let checksums = packs.iter().map(|p| fnv1a(p)).collect();
+        PackSet {
+            update_id: update_id.to_string(),
+            canaries,
+            packs,
+            checksums,
+        }
+    }
+
     /// The serialized pack and checksum for one base version.
     pub fn for_version(&self, version: usize) -> (&[u8], u64) {
         (&self.packs[version], self.checksums[version])

@@ -45,6 +45,7 @@
 mod asmfile;
 mod ast;
 mod build;
+mod drift;
 mod cache;
 mod codegen;
 mod fold;
@@ -68,6 +69,9 @@ pub use build::{
     tree_function_index, tree_inline_report, SourceTree,
 };
 pub use cache::{options_fingerprint, BuildCache, BuildStats, Fingerprint};
+pub use drift::{
+    canonicalize_tree, generate_drift, DriftClass, DriftLevel, DriftLog, DriftOp, FnFate,
+};
 pub use inline::{inline_report, InlineReport};
 pub use lexer::lex;
 pub use mutate::{apply_mutation, generate_mutant, FuzzRng, MutateError, Mutation, MutatorKind};

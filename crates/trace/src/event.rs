@@ -37,11 +37,14 @@ pub enum Stage {
     /// Fleet-scale rollout: wave orchestration, pack transport, node
     /// contact and mass rollback.
     Fleet,
+    /// Porting an update across kernel-version drift: fuzzy unit
+    /// matching, hunk rewriting and the rebased-pack verification gate.
+    Rebase,
 }
 
 impl Stage {
     /// Every stage, in taxonomy order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Create,
         Stage::Differ,
         Stage::RunPre,
@@ -53,6 +56,7 @@ impl Stage {
         Stage::Bench,
         Stage::Fuzz,
         Stage::Fleet,
+        Stage::Rebase,
     ];
 
     /// The lowercase wire name (`"apply"`, `"runpre"`, …).
@@ -69,6 +73,7 @@ impl Stage {
             Stage::Bench => "bench",
             Stage::Fuzz => "fuzz",
             Stage::Fleet => "fleet",
+            Stage::Rebase => "rebase",
         }
     }
 
